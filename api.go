@@ -1,0 +1,128 @@
+package crossmatch
+
+import (
+	"fmt"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/experiments"
+	"crossmatch/internal/platform"
+	"crossmatch/internal/workload"
+)
+
+// Algorithm names accepted by Simulate.
+const (
+	// TOTA is the single-platform online greedy baseline [9].
+	TOTA = platform.AlgTOTA
+	// GreedyRT is the randomized-threshold baseline of [9].
+	GreedyRT = platform.AlgGreedyRT
+	// DemCOM is the deterministic cross online matching of Algorithm 1.
+	DemCOM = platform.AlgDemCOM
+	// RamCOM is the randomized cross online matching of Algorithm 3.
+	RamCOM = platform.AlgRamCOM
+)
+
+// Re-exported domain types. The full type definitions live in
+// internal/core; these aliases are the supported public surface.
+type (
+	// Request is a user request r = <t, l, v> (Definition 2.1).
+	Request = core.Request
+	// Worker is a crowd worker w = <t, l, rad> (Definitions 2.2/2.3).
+	Worker = core.Worker
+	// Stream is a time-ordered sequence of worker and request arrivals.
+	Stream = core.Stream
+	// Assignment pairs a request with the worker serving it.
+	Assignment = core.Assignment
+	// Matching is a validated set of assignments with revenue accounting.
+	Matching = core.Matching
+	// PlatformID identifies a spatial crowdsourcing platform.
+	PlatformID = core.PlatformID
+	// Time is a discrete arrival tick.
+	Time = core.Time
+	// SimResult is the outcome of a Simulate run.
+	SimResult = platform.Result
+	// OfflineResult is the outcome of the OFF baseline.
+	OfflineResult = platform.OfflineResult
+)
+
+// NewStream validates and time-orders arrival events built from workers
+// and requests.
+func NewStream(workers []*Worker, requests []*Request) (*Stream, error) {
+	return core.NewStream(append(core.WorkerEvents(workers), core.RequestEvents(requests)...))
+}
+
+// ExampleStream returns the paper's running Example 1 (Fig. 3,
+// Tables I-II) as a ready-made two-platform stream.
+func ExampleStream() (*Stream, error) { return core.ExampleOneStream() }
+
+// GenerateSynthetic builds a two-platform Table IV-style workload:
+// totalRequests and totalWorkers split evenly between two cooperating
+// platforms with complementary spatial skew, service radius rad (km),
+// and value distribution "real" (log-normal) or "normal".
+func GenerateSynthetic(totalRequests, totalWorkers int, rad float64, valueDist string, seed int64) (*Stream, error) {
+	cfg, err := workload.Synthetic(totalRequests, totalWorkers, rad, valueDist)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(cfg, seed)
+}
+
+// GenerateCity builds one of the paper's Table III dataset substitutes
+// ("RDC10+RYC10", "RDC11+RYC11" or "RDX11+RYX11") at the given scale in
+// (0, 1] of the paper's counts.
+func GenerateCity(preset string, scale float64, seed int64) (*Stream, error) {
+	p, ok := workload.PresetByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("crossmatch: unknown preset %q (want one of %v)", preset, workload.PresetNames())
+	}
+	cfg, err := p.Config(scale)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(cfg, seed)
+}
+
+// SimOptions configures Simulate.
+type SimOptions struct {
+	// Seed drives all randomness; same seed + stream = same result.
+	Seed int64
+	// DisableCoop turns off cross-platform worker sharing, degrading
+	// the COM algorithms to TOTA.
+	DisableCoop bool
+	// ServiceTicks, when positive, returns each worker to its waiting
+	// list that many ticks after an assignment (an engine-level
+	// extension; the paper's model instead encodes returns as fresh
+	// worker arrivals, which the generators produce).
+	ServiceTicks Time
+}
+
+// Simulate runs the named online algorithm over the stream, one matcher
+// per platform, cooperating through a shared hub.
+func Simulate(stream *Stream, algorithm string, opts SimOptions) (*SimResult, error) {
+	factory, ok := platform.FactoryByName(algorithm, stream.MaxValue())
+	if !ok {
+		return nil, fmt.Errorf("crossmatch: unknown algorithm %q (want %s, %s, %s or %s)",
+			algorithm, TOTA, GreedyRT, DemCOM, RamCOM)
+	}
+	return platform.Run(stream, factory, platform.Config{
+		Seed:         opts.Seed,
+		DisableCoop:  opts.DisableCoop,
+		ServiceTicks: opts.ServiceTicks,
+	})
+}
+
+// Offline computes the OFF baseline: the offline optimum of COM as an
+// exact maximum-weight bipartite matching (Section II-B).
+func Offline(stream *Stream) (*OfflineResult, error) {
+	return platform.Offline(stream, platform.SolverAuto)
+}
+
+// ReproduceTable regenerates one of the paper's Tables V-VII for the
+// named dataset preset at the given scale; see EXPERIMENTS.md for the
+// published runs. The returned result renders with .Table().
+func ReproduceTable(preset string, scale float64, seed int64) (*experiments.TableResult, error) {
+	p, ok := workload.PresetByName(preset)
+	if !ok {
+		return nil, fmt.Errorf("crossmatch: unknown preset %q (want one of %v)", preset, workload.PresetNames())
+	}
+	return experiments.RunTable(p, experiments.TableOptions{Scale: scale, Seed: seed})
+}

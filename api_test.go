@@ -1,0 +1,134 @@
+package crossmatch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"crossmatch/internal/geo"
+)
+
+func TestExampleStreamThroughPublicAPI(t *testing.T) {
+	stream, err := ExampleStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tota, err := Simulate(stream, TOTA, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tota.TotalRevenue()-16) > 1e-9 {
+		t.Errorf("TOTA revenue = %v, want 16", tota.TotalRevenue())
+	}
+	off, err := Offline(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(off.TotalWeight-24.5) > 1e-9 {
+		t.Errorf("OFF revenue = %v, want 24.5", off.TotalWeight)
+	}
+}
+
+func TestSimulateUnknownAlgorithm(t *testing.T) {
+	stream, err := ExampleStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(stream, "Magic", SimOptions{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	} else if !strings.Contains(err.Error(), "Magic") {
+		t.Errorf("error does not name the algorithm: %v", err)
+	}
+}
+
+func TestNewStreamPublic(t *testing.T) {
+	w := &Worker{ID: 1, Arrival: 1, Loc: geo.Point{}, Radius: 1, Platform: 1}
+	r := &Request{ID: 1, Arrival: 2, Loc: geo.Point{X: 0.5}, Value: 3, Platform: 1}
+	s, err := NewStream([]*Worker{w}, []*Request{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(s, TOTA, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalServed() != 1 || res.TotalRevenue() != 3 {
+		t.Errorf("served=%d revenue=%v", res.TotalServed(), res.TotalRevenue())
+	}
+	// Invalid input is rejected at construction.
+	bad := &Request{ID: 2, Arrival: 2, Value: -1, Platform: 1}
+	if _, err := NewStream(nil, []*Request{bad}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestGenerateSyntheticPublic(t *testing.T) {
+	s, err := GenerateSynthetic(200, 40, 1.0, "real", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Requests()) != 200 {
+		t.Errorf("requests = %d", len(s.Requests()))
+	}
+	if _, err := GenerateSynthetic(10, 10, -1, "real", 7); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := GenerateSynthetic(10, 10, 1, "cauchy", 7); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestGenerateCityPublic(t *testing.T) {
+	s, err := GenerateCity("RDX11+RYX11", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Platforms()) != 2 {
+		t.Errorf("platforms = %v", s.Platforms())
+	}
+	if _, err := GenerateCity("RDZ99", 0.01, 3); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := GenerateCity("RDX11+RYX11", 0, 3); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestSimulateCOMBeatsTOTAOnCity(t *testing.T) {
+	s, err := GenerateCity("RDC10+RYC10", 0.005, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tota, err := Simulate(s, TOTA, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dem, err := Simulate(s, DemCOM, SimOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dem.TotalRevenue() < tota.TotalRevenue() {
+		t.Errorf("DemCOM %v below TOTA %v", dem.TotalRevenue(), tota.TotalRevenue())
+	}
+	// Coop disabled degrades DemCOM to TOTA exactly.
+	noCoop, err := Simulate(s, DemCOM, SimOptions{Seed: 1, DisableCoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCoop.TotalRevenue() != tota.TotalRevenue() {
+		t.Errorf("DemCOM(no coop) %v != TOTA %v", noCoop.TotalRevenue(), tota.TotalRevenue())
+	}
+}
+
+func TestReproduceTablePublic(t *testing.T) {
+	res, err := ReproduceTable("RDX11+RYX11", 0.002, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if _, err := ReproduceTable("bogus", 0.01, 5); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}

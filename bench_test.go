@@ -1,0 +1,231 @@
+package crossmatch
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section V). Each iteration regenerates the experiment end to end at a
+// bench-friendly scale; EXPERIMENTS.md records the scales used for the
+// published reproduction and maps every benchmark to its paper artefact.
+//
+//	BenchmarkTableV    -> Table V   (RDC10+RYC10)
+//	BenchmarkTableVI   -> Table VI  (RDC11+RYC11)
+//	BenchmarkTableVII  -> Table VII (RDX11+RYX11)
+//	BenchmarkFig5a..d  -> Fig. 5(a)-(d): revenue/response/memory/acceptance vs |R|
+//	BenchmarkFig5e..h  -> Fig. 5(e)-(h): ... vs |W|
+//	BenchmarkFig5i..l  -> Fig. 5(i)-(l): ... vs rad
+//	BenchmarkCompetitiveRatio -> the CR_RO study (Definitions 2.7/2.8)
+//	BenchmarkAblations -> DESIGN.md's design-choice ablations
+//
+// Full-scale reproductions are driven by cmd/combench, not the benches.
+
+import (
+	"sync"
+	"testing"
+
+	"crossmatch/internal/experiments"
+	"crossmatch/internal/workload"
+)
+
+const (
+	benchTableScale = 0.01
+	benchSeed       = 42
+)
+
+func benchTable(b *testing.B, preset string) {
+	b.Helper()
+	p, ok := workload.PresetByName(preset)
+	if !ok {
+		b.Fatalf("preset %q missing", preset)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable(p, experiments.TableOptions{
+			Scale: benchTableScale, Seed: benchSeed, Repeats: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, res)
+	}
+}
+
+// reportTable surfaces the headline metrics of the last run as custom
+// benchmark units so `go test -bench` output doubles as a result sheet.
+func reportTable(b *testing.B, res *experiments.TableResult) {
+	for _, row := range res.Rows {
+		switch row.Method {
+		case "OFF":
+			b.ReportMetric(row.RevD+row.RevY, "OFF-rev")
+		case "TOTA":
+			b.ReportMetric(row.RevD+row.RevY, "TOTA-rev")
+		case "DemCOM":
+			b.ReportMetric(row.RevD+row.RevY, "DemCOM-rev")
+		case "RamCOM":
+			b.ReportMetric(row.RevD+row.RevY, "RamCOM-rev")
+		}
+	}
+}
+
+func BenchmarkTableV(b *testing.B)   { benchTable(b, "RDC10+RYC10") }
+func BenchmarkTableVI(b *testing.B)  { benchTable(b, "RDC11+RYC11") }
+func BenchmarkTableVII(b *testing.B) { benchTable(b, "RDX11+RYX11") }
+
+// Sweeps are shared per axis across their four figures: Fig. 5(a)-(d)
+// all come from the |R| sweep, etc. A sync.Once per axis keeps
+// `go test -bench=.` from re-running the same sweep four times while
+// still letting each figure be benchmarked individually.
+var (
+	sweepOnce   [3]sync.Once
+	sweepCache  [3]*experiments.SweepResult
+	sweepErrors [3]error
+)
+
+func benchSweep(b *testing.B, idx int, axis experiments.SweepAxis, cap float64, metric string) {
+	b.Helper()
+	run := func() (*experiments.SweepResult, error) {
+		return experiments.RunSweep(axis, experiments.SweepOptions{
+			Seed: benchSeed, Repeats: 1, ScaleCap: cap,
+		})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var res *experiments.SweepResult
+		var err error
+		if i == 0 {
+			sweepOnce[idx].Do(func() { sweepCache[idx], sweepErrors[idx] = run() })
+			res, err = sweepCache[idx], sweepErrors[idx]
+		} else {
+			res, err = run()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := len(res.Xs) - 1
+		for _, algo := range res.Algos {
+			p, ok := res.Get(algo, last)
+			if !ok {
+				b.Fatalf("missing point for %s", algo)
+			}
+			switch metric {
+			case "revenue":
+				b.ReportMetric(p.Revenue, algo+"-rev")
+			case "response":
+				b.ReportMetric(p.ResponseMs, algo+"-ms")
+			case "memory":
+				b.ReportMetric(p.MemoryMB, algo+"-MB")
+			case "acceptance":
+				b.ReportMetric(p.AcptRatio, algo+"-acp")
+			}
+		}
+	}
+}
+
+const (
+	benchCapR   = 5000
+	benchCapW   = 1000
+	benchCapRad = 1.5
+)
+
+func BenchmarkFig5a(b *testing.B) { benchSweep(b, 0, experiments.AxisRequests, benchCapR, "revenue") }
+func BenchmarkFig5b(b *testing.B) { benchSweep(b, 0, experiments.AxisRequests, benchCapR, "response") }
+func BenchmarkFig5c(b *testing.B) { benchSweep(b, 0, experiments.AxisRequests, benchCapR, "memory") }
+func BenchmarkFig5d(b *testing.B) {
+	benchSweep(b, 0, experiments.AxisRequests, benchCapR, "acceptance")
+}
+func BenchmarkFig5e(b *testing.B) { benchSweep(b, 1, experiments.AxisWorkers, benchCapW, "revenue") }
+func BenchmarkFig5f(b *testing.B) { benchSweep(b, 1, experiments.AxisWorkers, benchCapW, "response") }
+func BenchmarkFig5g(b *testing.B) { benchSweep(b, 1, experiments.AxisWorkers, benchCapW, "memory") }
+func BenchmarkFig5h(b *testing.B) {
+	benchSweep(b, 1, experiments.AxisWorkers, benchCapW, "acceptance")
+}
+func BenchmarkFig5i(b *testing.B) { benchSweep(b, 2, experiments.AxisRadius, benchCapRad, "revenue") }
+func BenchmarkFig5j(b *testing.B) { benchSweep(b, 2, experiments.AxisRadius, benchCapRad, "response") }
+func BenchmarkFig5k(b *testing.B) { benchSweep(b, 2, experiments.AxisRadius, benchCapRad, "memory") }
+func BenchmarkFig5l(b *testing.B) {
+	benchSweep(b, 2, experiments.AxisRadius, benchCapRad, "acceptance")
+}
+
+func BenchmarkCompetitiveRatio(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCompetitiveRatio(experiments.CROptions{
+			Instances: 5, Orders: 4, Requests: 100, Workers: 30, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MinRatio["DemCOM"], "DemCOM-CR")
+		b.ReportMetric(res.MinRatio["RamCOM"], "RamCOM-CR")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblations(experiments.AblationOptions{
+			Requests: 800, Workers: 160, Repeats: 1, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("empty ablation result")
+		}
+	}
+}
+
+// BenchmarkRoadNet measures the Section VII extension study: Euclidean
+// vs shortest-path service ranges.
+func BenchmarkRoadNet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRoadNet(experiments.RoadNetOptions{
+			Requests: 600, Workers: 120, Repeats: 1, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatal("unexpected road-net result shape")
+		}
+	}
+}
+
+// BenchmarkValueDist measures the Table IV value-distribution factor
+// study ({real, normal}).
+func BenchmarkValueDist(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunValueDist(experiments.ValueDistOptions{
+			Requests: 800, Workers: 160, Repeats: 1, Seed: benchSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatal("unexpected value-dist result shape")
+		}
+	}
+}
+
+// BenchmarkDecisionLatency isolates the per-request decision cost of
+// each online matcher (the quantity behind the paper's "response time"
+// columns), excluding stream generation.
+func BenchmarkDecisionLatency(b *testing.B) {
+	cfg, err := workload.Synthetic(2500, 500, 1.0, "real")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.Generate(cfg, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range []string{TOTA, DemCOM, RamCOM} {
+		b.Run(alg, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Simulate(stream, alg, SimOptions{Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+// Command combench regenerates the paper's evaluation: Tables V-VII,
+// the twelve Fig. 5 sub-plots, the competitive-ratio study and the
+// ablations. Results print as aligned text (or CSV with -csv).
+//
+// Usage:
+//
+//	combench -exp all                # everything, default scales
+//	combench -exp tableV -scale 0.1  # one table at 10% of paper size
+//	combench -exp fig5a -plot        # one figure series + ASCII chart
+//	combench -exp cr                 # competitive ratios
+//	combench -exp ablations          # design-choice ablations
+//
+// Experiment ids: tableV tableVI tableVII fig5a..fig5l cr ablations
+// roadnet valuedist platforms variance all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"crossmatch/internal/experiments"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, all)")
+		scale   = flag.Float64("scale", 0.05, "fraction of the paper's Table III dataset sizes for table experiments")
+		seed    = flag.Int64("seed", 42, "root random seed")
+		repeats = flag.Int("repeats", 3, "seeds averaged per measurement")
+		cap     = flag.Float64("cap", 0, "truncate sweep axes at this value (0 = full Table IV axes)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot    = flag.Bool("plot", false, "render figure series as ASCII charts alongside the tables")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot); err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool) error {
+	render := func(t *stats.Table) error {
+		var err error
+		if csvOut {
+			err = t.RenderCSV(w)
+		} else {
+			err = t.Render(w)
+		}
+		if err == nil {
+			_, err = fmt.Fprintln(w)
+		}
+		return err
+	}
+
+	ids := []string{exp}
+	if exp == "all" {
+		ids = []string{"tableV", "tableVI", "tableVII",
+			"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
+			"fig5i", "fig5j", "fig5k", "fig5l", "cr", "ablations", "roadnet", "valuedist",
+			"platforms", "variance"}
+	}
+
+	// Sweeps are shared across the four figures of one axis; cache them.
+	sweeps := map[experiments.SweepAxis]*experiments.SweepResult{}
+	sweep := func(axis experiments.SweepAxis) (*experiments.SweepResult, error) {
+		if s, ok := sweeps[axis]; ok {
+			return s, nil
+		}
+		s, err := experiments.RunSweep(axis, experiments.SweepOptions{
+			Seed: seed, Repeats: repeats, ScaleCap: cap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sweeps[axis] = s
+		return s, nil
+	}
+
+	table := func(preset string) error {
+		p, ok := workload.PresetByName(preset)
+		if !ok {
+			return fmt.Errorf("unknown preset %q", preset)
+		}
+		res, err := experiments.RunTable(p, experiments.TableOptions{
+			Scale: scale, Seed: seed, Repeats: repeats,
+		})
+		if err != nil {
+			return err
+		}
+		return render(res.Table())
+	}
+
+	figure := func(axis experiments.SweepAxis, metric string) error {
+		s, err := sweep(axis)
+		if err != nil {
+			return err
+		}
+		rev, resp, mem, acc := s.Series()
+		var t *stats.Table
+		var series *stats.Series
+		switch metric {
+		case "revenue":
+			t, series = rev.Table(1), rev
+		case "response":
+			t, series = resp.Table(3), resp
+		case "memory":
+			t, series = mem.Table(2), mem
+		case "acceptance":
+			t, series = acc.Table(3), acc
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+		if plot && !csvOut {
+			if err := series.Plot(w, 64, 14); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for _, id := range ids {
+		var err error
+		switch id {
+		case "tableV":
+			err = table("RDC10+RYC10")
+		case "tableVI":
+			err = table("RDC11+RYC11")
+		case "tableVII":
+			err = table("RDX11+RYX11")
+		case "fig5a":
+			err = figure(experiments.AxisRequests, "revenue")
+		case "fig5b":
+			err = figure(experiments.AxisRequests, "response")
+		case "fig5c":
+			err = figure(experiments.AxisRequests, "memory")
+		case "fig5d":
+			err = figure(experiments.AxisRequests, "acceptance")
+		case "fig5e":
+			err = figure(experiments.AxisWorkers, "revenue")
+		case "fig5f":
+			err = figure(experiments.AxisWorkers, "response")
+		case "fig5g":
+			err = figure(experiments.AxisWorkers, "memory")
+		case "fig5h":
+			err = figure(experiments.AxisWorkers, "acceptance")
+		case "fig5i":
+			err = figure(experiments.AxisRadius, "revenue")
+		case "fig5j":
+			err = figure(experiments.AxisRadius, "response")
+		case "fig5k":
+			err = figure(experiments.AxisRadius, "memory")
+		case "fig5l":
+			err = figure(experiments.AxisRadius, "acceptance")
+		case "cr":
+			var res *experiments.CRResult
+			res, err = experiments.RunCompetitiveRatio(experiments.CROptions{Seed: seed})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "ablations":
+			var res *experiments.AblationResult
+			res, err = experiments.RunAblations(experiments.AblationOptions{Seed: seed, Repeats: repeats})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "roadnet":
+			var res *experiments.RoadNetResult
+			res, err = experiments.RunRoadNet(experiments.RoadNetOptions{Seed: seed, Repeats: repeats})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "valuedist":
+			var res *experiments.ValueDistResult
+			res, err = experiments.RunValueDist(experiments.ValueDistOptions{Seed: seed, Repeats: repeats})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "platforms":
+			var res *experiments.PlatformCountResult
+			res, err = experiments.RunPlatformCount(experiments.PlatformCountOptions{Seed: seed, Repeats: repeats})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "variance":
+			var res *experiments.VarianceResult
+			res, err = experiments.RunVariance(experiments.VarianceOptions{Seed: seed})
+			if err == nil {
+				err = render(res.Table())
+			}
+		default:
+			err = fmt.Errorf("unknown experiment %q", id)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package crossmatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"crossmatch"
+)
+
+// The paper's running Example 1: five requests, five workers, two
+// platforms. TOTA is deterministic (greedy nearest inner worker), so
+// its outcome is exactly the hand-computed 16.
+func ExampleSimulate() {
+	stream, err := crossmatch.ExampleStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := crossmatch.Simulate(stream, crossmatch.TOTA, crossmatch.SimOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue %.1f, served %d of %d\n",
+		res.TotalRevenue(), res.TotalServed(), len(stream.Requests()))
+	// Output: revenue 16.0, served 3 of 5
+}
+
+// The offline optimum (OFF) serves all five requests of Example 1 by
+// borrowing the two outer workers at their cheapest historical fees.
+func ExampleOffline() {
+	stream, err := crossmatch.ExampleStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	off, err := crossmatch.Offline(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimum %.1f, served %d\n", off.TotalWeight, off.TotalServed)
+	// Output: optimum 24.5, served 5
+}
+
+// Building a stream by hand: one worker, one request it can serve.
+func ExampleNewStream() {
+	w := &crossmatch.Worker{ID: 1, Arrival: 1, Radius: 2, Platform: 1}
+	r := &crossmatch.Request{ID: 1, Arrival: 5, Value: 12, Platform: 1}
+	stream, err := crossmatch.NewStream([]*crossmatch.Worker{w}, []*crossmatch.Request{r})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := crossmatch.Simulate(stream, crossmatch.TOTA, crossmatch.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue %.0f\n", res.TotalRevenue())
+	// Output: revenue 12
+}
+
+// Cooperation can be disabled to measure what borrowing is worth: with
+// the hub off, DemCOM degrades exactly to the TOTA baseline.
+func ExampleSimulate_disableCoop() {
+	stream, err := crossmatch.ExampleStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	solo, err := crossmatch.Simulate(stream, crossmatch.DemCOM,
+		crossmatch.SimOptions{Seed: 1, DisableCoop: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revenue %.1f, cooperative %d\n", solo.TotalRevenue(), solo.CooperativeServed())
+	// Output: revenue 16.0, cooperative 0
+}

@@ -1,0 +1,49 @@
+// Ridesharing: two taxi platforms in a Chengdu-like city with
+// complementary market geography (the Fig. 2 scenario — each platform's
+// riders concentrate where the other's drivers do). Compares TOTA,
+// DemCOM and RamCOM on revenue, service rate and the cooperation
+// metrics, per platform.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"crossmatch"
+)
+
+func main() {
+	// 4,000 ride requests and 600 drivers split across two platforms;
+	// drivers re-join the pool ~4 times over the day, 1 km pickup radius,
+	// log-normal ("real") fare distribution.
+	stream, err := crossmatch.GenerateSynthetic(4000, 600, 1.0, "real", 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("City day: %d ride requests, %d driver pool-joins, 2 platforms\n\n",
+		len(stream.Requests()), len(stream.Workers()))
+
+	for _, alg := range []string{crossmatch.TOTA, crossmatch.DemCOM, crossmatch.RamCOM} {
+		res, err := crossmatch.Simulate(stream, alg, crossmatch.SimOptions{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", alg)
+		for _, pid := range stream.Platforms() {
+			pr := res.Platforms[pid]
+			s := pr.Stats
+			fmt.Printf("  platform %d: revenue %8.1f  served %4d (%4d inner, %3d borrowed)",
+				pid, s.Revenue, s.Served, s.ServedInner, s.ServedOuter)
+			if s.CoopAttempted > 0 {
+				fmt.Printf("  acceptance %.2f", s.AcceptanceRatio())
+			}
+			fmt.Println()
+		}
+		fmt.Printf("  total: %.1f revenue, %d/%d requests served, %d cooperative\n\n",
+			res.TotalRevenue(), res.TotalServed(), len(stream.Requests()), res.CooperativeServed())
+	}
+
+	fmt.Println("The COM algorithms serve the riders stranded on the 'wrong' side of")
+	fmt.Println("town by borrowing the other platform's idle drivers — revenue both")
+	fmt.Println("platforms would otherwise leave on the table.")
+}

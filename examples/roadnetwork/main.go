@@ -1,0 +1,92 @@
+// Road network: the paper's Section VII extension. Replaces Euclidean
+// service disks with shortest-path reachability on a perturbed street
+// grid and shows the COM ordering surviving the stricter ranges.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+	"crossmatch/internal/online"
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/roadnet"
+	"crossmatch/internal/workload"
+)
+
+func main() {
+	// A 10x10 km district with 0.4 km blocks, 10% missing segments and a
+	// 1.3 detour factor — road distances run well above crow-flies.
+	region := geo.NewRect(geo.Point{}, geo.Point{X: 10, Y: 10})
+	net, err := roadnet.NewGridNetwork(region, roadnet.GridOptions{
+		Spacing: 0.4, DropProb: 0.10, Detour: 1.3, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Street grid: %d intersections\n", net.Len())
+
+	// Two platforms, 1,200 requests, 240 drivers over the district.
+	// Demand is complementary (platform 1's riders west, platform 2's
+	// east — the paper's Fig. 2 scenario) while both fleets cruise the
+	// whole district, so each platform strands drivers the other can
+	// borrow.
+	p1Req, err := workload.NewTwoRegionSkew(region, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2Req, err := workload.NewTwoRegionSkew(region, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	everywhere := workload.UniformRect{Rect: region}
+	cfg := workload.Config{Platforms: []workload.PlatformSpec{
+		{ID: 1, Requests: 600, Workers: 120, Radius: 0.8,
+			RequestSpatial: p1Req, WorkerSpatial: everywhere,
+			Values: workload.DefaultRealValues(), Appearances: 2},
+		{ID: 2, Requests: 600, Workers: 120, Radius: 0.8,
+			RequestSpatial: p2Req, WorkerSpatial: everywhere,
+			Values: workload.DefaultRealValues(), Appearances: 2},
+	}}
+	stream, err := workload.Generate(cfg, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, factory platform.MatcherFactory, road bool) {
+		if road {
+			cov := roadnet.NewCoverage(net, 0.8)
+			inner := factory
+			factory = func(id core.PlatformID, coop online.CoopView, rng *rand.Rand) online.Matcher {
+				m := inner(id, coop, rng)
+				if holder, ok := m.(interface{ Pool() *online.Pool }); ok {
+					holder.Pool().Filter = cov.Covers
+				}
+				return m
+			}
+		}
+		res, err := platform.Run(stream, factory, platform.Config{Seed: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "euclidean"
+		if road {
+			kind = "road     "
+		}
+		fmt.Printf("%-7s %s  revenue %8.1f  served %4d  borrowed %3d\n",
+			name, kind, res.TotalRevenue(), res.TotalServed(), res.CooperativeServed())
+	}
+
+	maxV := cfg.MaxValue()
+	for _, road := range []bool{false, true} {
+		run("TOTA", platform.TOTAFactory(), road)
+		run("DemCOM", platform.DemCOMFactory(pricing.DefaultMonteCarlo, false), road)
+		run("RamCOM", platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), road)
+		fmt.Println()
+	}
+	fmt.Println("Road ranges are irregular subsets of the Euclidean disks, so every")
+	fmt.Println("algorithm serves less — but cooperation keeps paying for itself.")
+}

@@ -1,0 +1,3 @@
+module crossmatch
+
+go 1.22

@@ -1,0 +1,56 @@
+package core
+
+import "crossmatch/internal/geo"
+
+// ExampleOneStream reconstructs the paper's running Example 1 (Fig. 3,
+// Tables I and II). It is used as a shared fixture by tests across the
+// module and by the quickstart example.
+//
+// Arrival order (Table II): w1 w2 r1 w3 r2 r3 w4 r4 w5 r5 at ticks 1..10.
+// Request values (Table I): v(r1..r5) = 4, 9, 6, 3, 4.
+// Platform 1 ("blue", the target platform) owns w1, w2, w4 and all five
+// requests; platform 2 ("red", the lender) owns w3 and w5.
+//
+// Coverage is laid out on a line so that
+//
+//	w1 covers {r1, r2},  w2 covers {r2, r3},  w3 covers {r2, r3},
+//	w4 covers {r3, r4},  w5 covers {r4, r5},
+//
+// which reproduces the paper's two reference solutions:
+//
+//   - TOTA offline optimum (Fig. 3b): w1->r2, w2->r3, w4->r4,
+//     revenue 9 + 6 + 3 = 18 (three requests served);
+//   - COM offline optimum (Fig. 3c): w1->r1, w2->r2, w4->r4 inner and
+//     w3->r3, w5->r5 outer at 50% payment,
+//     revenue 4 + 9 + 3 + 6*0.5 + 4*0.5 = 21 (all five served).
+//
+// Note w4 arrives at t7, after r3 (t6), so w4 can serve r4 but not r3 —
+// exactly as in the paper, where r3 must be borrowed out to w3.
+//
+// The outer workers carry small value histories so that the Definition
+// 3.1 acceptance probability is 1 at the 50% payments used above
+// (3 for r3, 2 for r5), keeping example-driven tests deterministic.
+func ExampleOneStream() (*Stream, error) {
+	const (
+		blue PlatformID = 1
+		red  PlatformID = 2
+	)
+	rad := 1.2
+	workers := []*Worker{
+		{ID: 1, Arrival: 1, Loc: geo.Point{X: 1, Y: 0}, Radius: rad, Platform: blue},
+		{ID: 2, Arrival: 2, Loc: geo.Point{X: 3, Y: 0}, Radius: rad, Platform: blue},
+		{ID: 3, Arrival: 4, Loc: geo.Point{X: 3, Y: 0.5}, Radius: rad, Platform: red,
+			History: []float64{1, 1.5, 2, 2.5, 3}},
+		{ID: 4, Arrival: 7, Loc: geo.Point{X: 5, Y: 0}, Radius: rad, Platform: blue},
+		{ID: 5, Arrival: 9, Loc: geo.Point{X: 7, Y: 0.5}, Radius: rad, Platform: red,
+			History: []float64{0.5, 1, 1.5, 2}},
+	}
+	requests := []*Request{
+		{ID: 1, Arrival: 3, Loc: geo.Point{X: 0, Y: 0}, Value: 4, Platform: blue},
+		{ID: 2, Arrival: 5, Loc: geo.Point{X: 2, Y: 0}, Value: 9, Platform: blue},
+		{ID: 3, Arrival: 6, Loc: geo.Point{X: 4, Y: 0}, Value: 6, Platform: blue},
+		{ID: 4, Arrival: 8, Loc: geo.Point{X: 6, Y: 0}, Value: 3, Platform: blue},
+		{ID: 5, Arrival: 10, Loc: geo.Point{X: 8, Y: 0}, Value: 4, Platform: blue},
+	}
+	return NewStream(append(WorkerEvents(workers), RequestEvents(requests)...))
+}

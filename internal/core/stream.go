@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EventKind distinguishes worker and request arrivals on the global
+// arrival sequence (the paper's Table II).
+type EventKind uint8
+
+const (
+	// WorkerArrival is the arrival of a crowd worker at its platform.
+	WorkerArrival EventKind = iota + 1
+	// RequestArrival is the arrival of a user request at its platform.
+	RequestArrival
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case WorkerArrival:
+		return "worker"
+	case RequestArrival:
+		return "request"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one arrival on the global sequence. Exactly one of Worker and
+// Request is non-nil, matching Kind.
+type Event struct {
+	Time    Time
+	Kind    EventKind
+	Worker  *Worker
+	Request *Request
+}
+
+// Validate checks internal consistency of the event.
+func (e Event) Validate() error {
+	switch e.Kind {
+	case WorkerArrival:
+		if e.Worker == nil || e.Request != nil {
+			return fmt.Errorf("core: malformed worker event at %d", e.Time)
+		}
+		if err := e.Worker.Validate(); err != nil {
+			return err
+		}
+		if e.Worker.Arrival != e.Time {
+			return fmt.Errorf("core: worker %d arrival %d != event time %d", e.Worker.ID, e.Worker.Arrival, e.Time)
+		}
+	case RequestArrival:
+		if e.Request == nil || e.Worker != nil {
+			return fmt.Errorf("core: malformed request event at %d", e.Time)
+		}
+		if err := e.Request.Validate(); err != nil {
+			return err
+		}
+		if e.Request.Arrival != e.Time {
+			return fmt.Errorf("core: request %d arrival %d != event time %d", e.Request.ID, e.Request.Arrival, e.Time)
+		}
+	default:
+		return fmt.Errorf("core: unknown event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// Stream is a time-ordered sequence of arrival events, the online input
+// of the COM problem.
+type Stream struct {
+	events []Event
+}
+
+// NewStream builds a stream from events, sorting them by time. Ties are
+// broken by kind (workers before requests, so a worker arriving at the
+// same tick as a request may serve it, mirroring the paper's "workers can
+// only serve requests arriving after them" with non-strict arrival) and
+// then by ID for determinism.
+func NewStream(events []Event) (*Stream, error) {
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	s := &Stream{events: append([]Event(nil), events...)}
+	sort.SliceStable(s.events, func(i, j int) bool {
+		a, b := s.events[i], s.events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind // workers first
+		}
+		return eventID(a) < eventID(b)
+	})
+	return s, nil
+}
+
+func eventID(e Event) int64 {
+	if e.Kind == WorkerArrival {
+		return e.Worker.ID
+	}
+	return e.Request.ID
+}
+
+// Merge combines several streams into one global arrival order.
+func Merge(streams ...*Stream) (*Stream, error) {
+	var all []Event
+	for _, s := range streams {
+		if s == nil {
+			continue
+		}
+		all = append(all, s.events...)
+	}
+	return NewStream(all)
+}
+
+// Len returns the number of events.
+func (s *Stream) Len() int { return len(s.events) }
+
+// Events returns the events in arrival order. The slice is owned by the
+// stream and must not be mutated.
+func (s *Stream) Events() []Event { return s.events }
+
+// Workers returns the workers in arrival order.
+func (s *Stream) Workers() []*Worker {
+	var ws []*Worker
+	for _, e := range s.events {
+		if e.Kind == WorkerArrival {
+			ws = append(ws, e.Worker)
+		}
+	}
+	return ws
+}
+
+// Requests returns the requests in arrival order.
+func (s *Stream) Requests() []*Request {
+	var rs []*Request
+	for _, e := range s.events {
+		if e.Kind == RequestArrival {
+			rs = append(rs, e.Request)
+		}
+	}
+	return rs
+}
+
+// MaxValue returns the largest request value in the stream, or 0 for a
+// stream without requests. RamCOM's threshold theta (Algorithm 3) is
+// derived from it; the paper assumes max(v_r) is known a priori.
+func (s *Stream) MaxValue() float64 {
+	maxV := 0.0
+	for _, e := range s.events {
+		if e.Kind == RequestArrival && e.Request.Value > maxV {
+			maxV = e.Request.Value
+		}
+	}
+	return maxV
+}
+
+// FilterPlatform returns the sub-stream of events belonging to the given
+// platform.
+func (s *Stream) FilterPlatform(p PlatformID) *Stream {
+	var evs []Event
+	for _, e := range s.events {
+		switch e.Kind {
+		case WorkerArrival:
+			if e.Worker.Platform == p {
+				evs = append(evs, e)
+			}
+		case RequestArrival:
+			if e.Request.Platform == p {
+				evs = append(evs, e)
+			}
+		}
+	}
+	return &Stream{events: evs}
+}
+
+// Platforms returns the sorted set of platform IDs present in the stream.
+func (s *Stream) Platforms() []PlatformID {
+	seen := map[PlatformID]bool{}
+	for _, e := range s.events {
+		switch e.Kind {
+		case WorkerArrival:
+			seen[e.Worker.Platform] = true
+		case RequestArrival:
+			seen[e.Request.Platform] = true
+		}
+	}
+	ids := make([]PlatformID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// WorkerEvents builds worker-arrival events from workers, stamping event
+// times from each worker's Arrival field.
+func WorkerEvents(ws []*Worker) []Event {
+	evs := make([]Event, len(ws))
+	for i, w := range ws {
+		evs[i] = Event{Time: w.Arrival, Kind: WorkerArrival, Worker: w}
+	}
+	return evs
+}
+
+// RequestEvents builds request-arrival events from requests.
+func RequestEvents(rs []*Request) []Event {
+	evs := make([]Event, len(rs))
+	for i, r := range rs {
+		evs[i] = Event{Time: r.Arrival, Kind: RequestArrival, Request: r}
+	}
+	return evs
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// AblationOptions configures the design-choice ablation study.
+type AblationOptions struct {
+	// Requests/Workers/Radius define the synthetic workload (Table IV
+	// defaults when zero).
+	Requests, Workers int
+	Radius            float64
+	// Repeats averages each variant over this many seeds.
+	Repeats int
+	// Seed roots all randomness.
+	Seed int64
+}
+
+func (o *AblationOptions) withDefaults() AblationOptions {
+	out := *o
+	if out.Requests <= 0 {
+		out.Requests = 2500
+	}
+	if out.Workers <= 0 {
+		out.Workers = 500
+	}
+	if out.Radius <= 0 {
+		out.Radius = 1.0
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	return out
+}
+
+// AblationRow is one variant's averaged outcome.
+type AblationRow struct {
+	Variant   string
+	Revenue   float64
+	Served    float64
+	CoR       float64
+	AcptRatio float64
+	PayRate   float64
+}
+
+// AblationResult is the full study.
+type AblationResult struct {
+	Opts AblationOptions
+	Rows []AblationRow
+}
+
+// Row returns the named variant's row.
+func (r *AblationResult) Row(variant string) (AblationRow, bool) {
+	for _, row := range r.Rows {
+		if row.Variant == variant {
+			return row, true
+		}
+	}
+	return AblationRow{}, false
+}
+
+// Table renders the study.
+func (r *AblationResult) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Ablations (|R|=%d, |W|=%d, rad=%.1f, %d repeats)",
+			r.Opts.Requests, r.Opts.Workers, r.Opts.Radius, r.Opts.Repeats),
+		"Variant", "Revenue", "Served", "|CoR|", "AcpRt", "v'/v")
+	for _, row := range r.Rows {
+		tb.Add(row.Variant,
+			stats.FormatFloat(row.Revenue, 1),
+			stats.FormatFloat(row.Served, 1),
+			stats.FormatFloat(row.CoR, 1),
+			stats.FormatFloat(row.AcptRatio, 3),
+			stats.FormatFloat(row.PayRate, 3))
+	}
+	return tb
+}
+
+// Ablation variant names.
+const (
+	VarTOTA             = "TOTA (no cooperation)"
+	VarDemCOM           = "DemCOM (Alg 2 Monte-Carlo)"
+	VarDemCOMOracle     = "DemCOM (oracle min payment)"
+	VarDemCOMNoCoop     = "DemCOM (hub disabled)"
+	VarRamCOM           = "RamCOM (exact E-rev pricing)"
+	VarRamCOMThreshold  = "RamCOM (1/e threshold pricing)"
+	VarRamCOMMinPayment = "RamCOM (min-payment pricing)"
+	VarRamCOMLiteral    = "RamCOM (literal Alg 3, no fallback)"
+	VarRamCOMNoCoop     = "RamCOM (hub disabled)"
+)
+
+// RunAblations measures the design-choice variants DESIGN.md calls out:
+// Algorithm 2's Monte-Carlo estimator vs an oracle payment, RamCOM's
+// exact expected-revenue pricing vs the 1/e threshold quote vs DemCOM's
+// minimum-payment pricing, and both COM algorithms with the cooperation
+// hub disabled (the degradation-to-TOTA claim of Section III-D).
+func RunAblations(opts AblationOptions) (*AblationResult, error) {
+	o := opts.withDefaults()
+	cfg, err := workload.Synthetic(o.Requests, o.Workers, o.Radius, "real")
+	if err != nil {
+		return nil, err
+	}
+	maxV := cfg.MaxValue()
+
+	type variant struct {
+		name    string
+		factory platform.MatcherFactory
+		noCoop  bool
+	}
+	variants := []variant{
+		{VarTOTA, platform.TOTAFactory(), false},
+		{VarDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false), false},
+		{VarDemCOMOracle, platform.DemCOMFactory(pricing.DefaultMonteCarlo, true), false},
+		{VarDemCOMNoCoop, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false), true},
+		{VarRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), false},
+		{VarRamCOMThreshold, platform.RamCOMFactory(maxV, platform.RamCOMOptions{ThresholdPricing: true}), false},
+		{VarRamCOMMinPayment, platform.RamCOMFactory(maxV, platform.RamCOMOptions{MinPaymentPricing: true}), false},
+		{VarRamCOMLiteral, platform.RamCOMFactory(maxV, platform.RamCOMOptions{NoInnerFallback: true}), false},
+		{VarRamCOMNoCoop, platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), true},
+	}
+
+	res := &AblationResult{Opts: o}
+	for _, v := range variants {
+		var row AblationRow
+		row.Variant = v.name
+		attempted := 0.0
+		for rep := 0; rep < o.Repeats; rep++ {
+			seed := o.Seed + int64(rep)*6151
+			stream, err := workload.Generate(cfg, seed)
+			if err != nil {
+				return nil, err
+			}
+			run, err := platform.Run(stream, v.factory, platform.Config{Seed: seed, DisableCoop: v.noCoop})
+			if err != nil {
+				return nil, err
+			}
+			row.Revenue += run.TotalRevenue()
+			row.Served += float64(run.TotalServed())
+			row.CoR += float64(run.CooperativeServed())
+			row.PayRate += run.MeanPaymentRate()
+			for _, pr := range run.Platforms {
+				attempted += float64(pr.Stats.CoopAttempted)
+			}
+		}
+		n := float64(o.Repeats)
+		row.Revenue /= n
+		row.Served /= n
+		row.CoR /= n
+		row.PayRate /= n
+		if attempted > 0 {
+			row.AcptRatio = row.CoR * n / attempted
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// PlatformCountOptions configures the cooperating-platform-count study.
+type PlatformCountOptions struct {
+	// Counts are the platform counts to sweep (default {2, 3, 4, 6}).
+	Counts []int
+	// Requests/Workers are city-wide totals shared by all platforms.
+	Requests, Workers int
+	Radius            float64
+	Repeats           int
+	Seed              int64
+}
+
+func (o *PlatformCountOptions) withDefaults() PlatformCountOptions {
+	out := *o
+	if len(out.Counts) == 0 {
+		out.Counts = []int{2, 3, 4, 6}
+	}
+	if out.Requests <= 0 {
+		out.Requests = 2500
+	}
+	if out.Workers <= 0 {
+		out.Workers = 500
+	}
+	if out.Radius <= 0 {
+		out.Radius = 1.0
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	return out
+}
+
+// PlatformCountRow is one (count, algorithm) measurement.
+type PlatformCountRow struct {
+	Platforms int
+	Algorithm string
+	Revenue   float64
+	Served    float64
+	CoR       float64
+}
+
+// PlatformCountResult is the full study.
+type PlatformCountResult struct {
+	Opts PlatformCountOptions
+	Rows []PlatformCountRow
+}
+
+// Row fetches one measurement.
+func (r *PlatformCountResult) Row(n int, alg string) (PlatformCountRow, bool) {
+	for _, row := range r.Rows {
+		if row.Platforms == n && row.Algorithm == alg {
+			return row, true
+		}
+	}
+	return PlatformCountRow{}, false
+}
+
+// Table renders the study.
+func (r *PlatformCountResult) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Cooperating platform count (city totals |R|=%d, |W|=%d, rad=%.1f, %d repeats)",
+			r.Opts.Requests, r.Opts.Workers, r.Opts.Radius, r.Opts.Repeats),
+		"Platforms", "Algorithm", "Total revenue", "Served", "|CoR|")
+	for _, row := range r.Rows {
+		tb.Add(fmt.Sprint(row.Platforms), row.Algorithm,
+			stats.FormatFloat(row.Revenue, 1),
+			stats.FormatFloat(row.Served, 1),
+			stats.FormatFloat(row.CoR, 1))
+	}
+	return tb
+}
+
+// RunPlatformCount extends the paper's two-platform evaluation to n-way
+// cooperation (Definition 2.3 allows several lender platforms): the same
+// city-wide demand and fleet split across 2..6 platforms. Fragmentation
+// hurts TOTA — each platform sees a smaller slice of supply near its own
+// demand — while the hub lets the COM algorithms reassemble the full
+// fleet, so the COM-over-TOTA gap widens with the platform count.
+func RunPlatformCount(opts PlatformCountOptions) (*PlatformCountResult, error) {
+	o := opts.withDefaults()
+	res := &PlatformCountResult{Opts: o}
+	for _, n := range o.Counts {
+		cfg, err := workload.SyntheticMulti(n, o.Requests, o.Workers, o.Radius, "real")
+		if err != nil {
+			return nil, err
+		}
+		maxV := cfg.MaxValue()
+		algos := []struct {
+			name    string
+			factory platform.MatcherFactory
+		}{
+			{platform.AlgTOTA, platform.TOTAFactory()},
+			{platform.AlgDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)},
+			{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{})},
+		}
+		for _, a := range algos {
+			row := PlatformCountRow{Platforms: n, Algorithm: a.name}
+			for rep := 0; rep < o.Repeats; rep++ {
+				seed := o.Seed + int64(rep)*3371
+				stream, err := workload.Generate(cfg, seed)
+				if err != nil {
+					return nil, err
+				}
+				run, err := platform.Run(stream, a.factory, platform.Config{Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				row.Revenue += run.TotalRevenue()
+				row.Served += float64(run.TotalServed())
+				row.CoR += float64(run.CooperativeServed())
+			}
+			nRep := float64(o.Repeats)
+			row.Revenue /= nRep
+			row.Served /= nRep
+			row.CoR /= nRep
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}

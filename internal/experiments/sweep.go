@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// SweepAxis selects which Table IV parameter a sweep varies.
+type SweepAxis string
+
+const (
+	// AxisRequests varies |R| (Fig. 5 a-d).
+	AxisRequests SweepAxis = "|R|"
+	// AxisWorkers varies |W| (Fig. 5 e-h).
+	AxisWorkers SweepAxis = "|W|"
+	// AxisRadius varies rad (Fig. 5 i-l).
+	AxisRadius SweepAxis = "rad"
+)
+
+// SweepOptions configures a scalability sweep.
+type SweepOptions struct {
+	// Seed drives generation and algorithms. Each x value uses Seed so
+	// all algorithms at one x see the identical stream.
+	Seed int64
+	// ValueDist is Table IV's value distribution: "real" or "normal".
+	ValueDist string
+	// Repeats averages each point over this many seeds (default 1).
+	Repeats int
+	// ScaleCap truncates the axis to values <= ScaleCap, letting tests
+	// and quick runs use the Table IV axes without the 100k points.
+	ScaleCap float64
+	// MC configures DemCOM's Algorithm 2 (default DefaultMonteCarlo).
+	MC pricing.MonteCarlo
+}
+
+func (o *SweepOptions) withDefaults() SweepOptions {
+	out := *o
+	if out.ValueDist == "" {
+		out.ValueDist = "real"
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 1
+	}
+	if out.MC == (pricing.MonteCarlo{}) {
+		out.MC = pricing.DefaultMonteCarlo
+	}
+	return out
+}
+
+// SweepPoint is one x value's measurements for one algorithm.
+type SweepPoint struct {
+	X          float64
+	Revenue    float64 // total across both platforms
+	ResponseMs float64 // mean per-request decision latency
+	MemoryMB   float64
+	AcptRatio  float64 // cooperative acceptance ratio (0 for TOTA)
+}
+
+// SweepResult holds a full sweep: per algorithm, per x value.
+type SweepResult struct {
+	Axis   SweepAxis
+	Xs     []float64
+	Algos  []string
+	Points map[string][]SweepPoint // algorithm -> one point per x
+}
+
+// Get returns algorithm algo's point at x index i.
+func (s *SweepResult) Get(algo string, i int) (SweepPoint, bool) {
+	pts, ok := s.Points[algo]
+	if !ok || i < 0 || i >= len(pts) {
+		return SweepPoint{}, false
+	}
+	return pts[i], true
+}
+
+// Series renders the four Fig. 5 metrics as printable series
+// (revenue, response time, memory, acceptance ratio).
+func (s *SweepResult) Series() (revenue, response, memory, acceptance *stats.Series) {
+	xs := make([]string, len(s.Xs))
+	for i, x := range s.Xs {
+		if x == float64(int64(x)) {
+			xs[i] = stats.FormatCount(int(x))
+		} else {
+			xs[i] = stats.FormatFloat(x, 1)
+		}
+	}
+	title := fmt.Sprintf("Sweep over %s", s.Axis)
+	revenue = stats.NewSeries(title, string(s.Axis), "Total revenue", xs)
+	response = stats.NewSeries(title, string(s.Axis), "Response time (ms)", xs)
+	memory = stats.NewSeries(title, string(s.Axis), "Memory (MB)", xs)
+	acceptance = stats.NewSeries(title, string(s.Axis), "Acceptance ratio", xs)
+	for _, algo := range s.Algos {
+		for i, p := range s.Points[algo] {
+			revenue.Set(algo, i, p.Revenue)
+			response.Set(algo, i, p.ResponseMs)
+			memory.Set(algo, i, p.MemoryMB)
+			if algo != platform.AlgTOTA {
+				acceptance.Set(algo, i, p.AcptRatio)
+			}
+		}
+	}
+	return revenue, response, memory, acceptance
+}
+
+// RunSweep reproduces one column of Fig. 5: it varies the given axis
+// over Table IV's values (all other parameters at their bold defaults
+// |R|=2500, |W|=500, rad=1.0) and measures TOTA, DemCOM and RamCOM.
+// OFF is omitted, as in the paper ("Since OFF can never be achieved in
+// the real world, we do not compare with it").
+func RunSweep(axis SweepAxis, opts SweepOptions) (*SweepResult, error) {
+	o := opts.withDefaults()
+	var xs []float64
+	switch axis {
+	case AxisRequests:
+		for _, v := range workload.SweepRequests {
+			xs = append(xs, float64(v))
+		}
+	case AxisWorkers:
+		for _, v := range workload.SweepWorkers {
+			xs = append(xs, float64(v))
+		}
+	case AxisRadius:
+		xs = append(xs, workload.SweepRadius...)
+	default:
+		return nil, fmt.Errorf("experiments: unknown sweep axis %q", axis)
+	}
+	if o.ScaleCap > 0 {
+		trimmed := xs[:0]
+		for _, x := range xs {
+			if x <= o.ScaleCap {
+				trimmed = append(trimmed, x)
+			}
+		}
+		xs = trimmed
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("experiments: sweep axis %q has no points under cap %v", axis, o.ScaleCap)
+	}
+
+	res := &SweepResult{
+		Axis:   axis,
+		Xs:     xs,
+		Algos:  []string{platform.AlgTOTA, platform.AlgDemCOM, platform.AlgRamCOM},
+		Points: map[string][]SweepPoint{},
+	}
+	for i, x := range xs {
+		r, w, rad := 2500, 500, 1.0
+		switch axis {
+		case AxisRequests:
+			r = int(x)
+		case AxisWorkers:
+			w = int(x)
+		case AxisRadius:
+			rad = x
+		}
+		cfg, err := workload.Synthetic(r, w, rad, o.ValueDist)
+		if err != nil {
+			return nil, err
+		}
+		maxV := cfg.MaxValue()
+		factories := map[string]platform.MatcherFactory{
+			platform.AlgTOTA:   platform.TOTAFactory(),
+			platform.AlgDemCOM: platform.DemCOMFactory(o.MC, false),
+			platform.AlgRamCOM: platform.RamCOMFactory(maxV, platform.RamCOMOptions{}),
+		}
+		for _, algo := range res.Algos {
+			var acc SweepPoint
+			acc.X = x
+			for rep := 0; rep < o.Repeats; rep++ {
+				seed := o.Seed + int64(rep)*7919
+				stream, err := workload.Generate(cfg, seed)
+				if err != nil {
+					return nil, err
+				}
+				run, err := platform.Run(stream, factories[algo], platform.Config{Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				// Capture memory while the stream and result are still
+				// live; without the KeepAlives the GC frees both before
+				// the measurement (they have no later uses).
+				acc.MemoryMB += stats.MemoryMB()
+				runtime.KeepAlive(stream)
+				var totalResp time.Duration
+				totalReq := 0
+				for _, pr := range run.Platforms {
+					totalResp += pr.ResponseTotal
+					totalReq += pr.Stats.Requests
+				}
+				acc.Revenue += run.TotalRevenue()
+				if totalReq > 0 {
+					acc.ResponseMs += float64(totalResp) / float64(time.Millisecond) / float64(totalReq)
+				}
+				acc.AcptRatio += run.AcceptanceRatio()
+			}
+			n := float64(o.Repeats)
+			acc.Revenue /= n
+			acc.ResponseMs /= n
+			acc.AcptRatio /= n
+			acc.MemoryMB /= n
+			stats.MustNonNegative("revenue", acc.Revenue)
+			stats.MustNonNegative("response", acc.ResponseMs)
+			stats.MustNonNegative("acceptance", acc.AcptRatio)
+			res.Points[algo] = append(res.Points[algo], acc)
+			if len(res.Points[algo]) != i+1 {
+				return nil, fmt.Errorf("experiments: internal bookkeeping error at x=%v", x)
+			}
+		}
+	}
+	return res, nil
+}

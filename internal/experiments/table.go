@@ -1,0 +1,269 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (Section V), plus the competitive-ratio study and
+// the ablations listed in DESIGN.md. cmd/combench and the module-level
+// benchmarks are thin wrappers over these runners.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// TableRow is one method's line in a Table V/VI/VII-style result.
+type TableRow struct {
+	Method     string
+	RevD       float64 // platform 1 ("DiDi-like") revenue
+	RevY       float64 // platform 2 ("Yueche-like") revenue
+	ResponseMs float64 // mean decision latency per request, milliseconds
+	MemoryMB   float64 // live heap after the run
+	CpRD       int     // completed requests, platform 1
+	CpRY       int     // completed requests, platform 2
+	CoR        int     // cooperative requests accepted (both platforms)
+	AcpRt      float64 // acceptance ratio of cooperative requests
+	PayRate    float64 // mean v'/v over cooperative assignments
+	HasCoop    bool    // false for OFF and TOTA (their CoR/AcpRt print as "-")
+}
+
+// TableResult is a full Table V/VI/VII reproduction.
+type TableResult struct {
+	Dataset string  // preset name, e.g. "RDC10+RYC10"
+	Scale   float64 // fraction of the paper's Table III counts generated
+	Seed    int64
+	Rows    []TableRow
+}
+
+// Row returns the row for a method name.
+func (t *TableResult) Row(method string) (TableRow, bool) {
+	for _, r := range t.Rows {
+		if r.Method == method {
+			return r, true
+		}
+	}
+	return TableRow{}, false
+}
+
+// Table renders the result in the paper's layout.
+func (t *TableResult) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Results on %s (scale %.3g, seed %d)", t.Dataset, t.Scale, t.Seed),
+		"Methods", "Rev_D(x10^6)", "Rev_Y(x10^6)", "Response Time (ms)", "Memory (MB)",
+		"|CpR(D)|", "|CpR(Y)|", "|CoR|", "AcpRt", "v'/v")
+	for _, r := range t.Rows {
+		coR, acp, pay := stats.Dash, stats.Dash, stats.Dash
+		if r.HasCoop {
+			coR = stats.FormatCount(r.CoR)
+			acp = stats.FormatFloat(r.AcpRt, 2)
+			pay = stats.FormatFloat(r.PayRate, 2)
+		}
+		tb.Add(r.Method,
+			stats.FormatFloat(r.RevD/1e6, 3),
+			stats.FormatFloat(r.RevY/1e6, 3),
+			stats.FormatFloat(r.ResponseMs, 2),
+			stats.FormatFloat(r.MemoryMB, 2),
+			stats.FormatCount(r.CpRD),
+			stats.FormatCount(r.CpRY),
+			coR, acp, pay)
+	}
+	return tb
+}
+
+// TableOptions configures a table reproduction run.
+type TableOptions struct {
+	// Scale shrinks the Table III dataset counts (1 = full size). The
+	// harness defaults to 0.05 so a full table regenerates in seconds;
+	// EXPERIMENTS.md records the scale of every published run.
+	Scale float64
+	// Seed drives generation and every algorithm's randomness.
+	Seed int64
+	// OfflineSolver picks the OFF solver (SolverAuto by default).
+	OfflineSolver platform.OfflineSolver
+	// MC configures DemCOM's Algorithm 2 (DefaultMonteCarlo when zero).
+	MC pricing.MonteCarlo
+	// SkipOFF drops the OFF row (used by the biggest runs where the
+	// exact solver is the bottleneck).
+	SkipOFF bool
+	// Repeats averages each online algorithm over this many seeds
+	// (default 3). The paper's Table III numbers are per-day averages
+	// over a month of days; averaging over seeds plays the same role and
+	// in particular averages RamCOM over draws of its random threshold
+	// k, which a single run fixes.
+	Repeats int
+}
+
+func (o *TableOptions) withDefaults() TableOptions {
+	out := *o
+	if out.Scale == 0 {
+		out.Scale = 0.05
+	}
+	if out.MC == (pricing.MonteCarlo{}) {
+		out.MC = pricing.DefaultMonteCarlo
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	return out
+}
+
+// RunTable reproduces one of Tables V-VII: it generates the preset's two
+// platforms, runs OFF, TOTA, DemCOM and RamCOM on the same stream, and
+// reports the paper's nine metrics per method.
+func RunTable(preset workload.Preset, opts TableOptions) (*TableResult, error) {
+	o := opts.withDefaults()
+	cfg, err := preset.Config(o.Scale)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := workload.Generate(cfg, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableResult{Dataset: preset.Name, Scale: o.Scale, Seed: o.Seed}
+
+	if !o.SkipOFF {
+		offRow, err := runOff(stream, o.OfflineSolver)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, offRow)
+	}
+
+	maxV := cfg.MaxValue()
+	type algo struct {
+		name    string
+		factory platform.MatcherFactory
+		coop    bool
+	}
+	algos := []algo{
+		{platform.AlgTOTA, platform.TOTAFactory(), false},
+		{platform.AlgDemCOM, platform.DemCOMFactory(o.MC, false), true},
+		{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), true},
+	}
+	for _, a := range algos {
+		row, err := runOnlineAveraged(stream, a.name, a.factory, a.coop, o.Seed, o.Repeats)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runOnlineAveraged averages an online algorithm's row over several
+// seeds on the same stream (same input, fresh randomness — thresholds,
+// Monte-Carlo draws, acceptance probes). The seeds run as a parallel
+// ensemble; streams are read-only during simulation, so sharing one
+// across runs is safe.
+func runOnlineAveraged(stream *core.Stream, name string, factory platform.MatcherFactory, coop bool, seed int64, repeats int) (TableRow, error) {
+	seeds := make([]int64, repeats)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)*9973
+	}
+	results, err := platform.RunEnsemble(
+		func(int64) (*core.Stream, error) { return stream, nil },
+		factory, platform.Config{}, seeds, 0)
+	if err != nil {
+		return TableRow{}, err
+	}
+	var acc TableRow
+	for _, run := range results {
+		if err := run.Validate(); err != nil {
+			return TableRow{}, fmt.Errorf("%s produced invalid matching: %w", name, err)
+		}
+		row := rowFromRun(run, name, coop)
+		acc.RevD += row.RevD
+		acc.RevY += row.RevY
+		acc.ResponseMs += row.ResponseMs
+		acc.CpRD += row.CpRD
+		acc.CpRY += row.CpRY
+		acc.CoR += row.CoR
+		acc.AcpRt += row.AcpRt
+		acc.PayRate += row.PayRate
+	}
+	n := float64(repeats)
+	acc.Method = name
+	acc.HasCoop = coop
+	acc.RevD /= n
+	acc.RevY /= n
+	acc.ResponseMs /= n
+	acc.MemoryMB = stats.MemoryMB() // heap with stream + all results live
+	runtime.KeepAlive(stream)
+	acc.CpRD = int(float64(acc.CpRD)/n + 0.5)
+	acc.CpRY = int(float64(acc.CpRY)/n + 0.5)
+	acc.CoR = int(float64(acc.CoR)/n + 0.5)
+	acc.AcpRt /= n
+	acc.PayRate /= n
+	runtime.KeepAlive(results)
+	return acc, nil
+}
+
+func runOff(stream *core.Stream, solver platform.OfflineSolver) (TableRow, error) {
+	start := time.Now()
+	off, err := platform.Offline(stream, solver)
+	if err != nil {
+		return TableRow{}, err
+	}
+	elapsed := time.Since(start)
+	nReq := len(stream.Requests())
+	row := TableRow{
+		Method:   platform.AlgOFF,
+		RevD:     off.Revenue[1],
+		RevY:     off.Revenue[2],
+		CpRD:     off.Served[1],
+		CpRY:     off.Served[2],
+		MemoryMB: stats.MemoryMB(),
+	}
+	if nReq > 0 {
+		row.ResponseMs = float64(elapsed) / float64(time.Millisecond) / float64(nReq)
+	}
+	return row, nil
+}
+
+func runOnline(stream *core.Stream, name string, factory platform.MatcherFactory, coop bool, seed int64) (TableRow, error) {
+	run, err := platform.Run(stream, factory, platform.Config{Seed: seed})
+	if err != nil {
+		return TableRow{}, err
+	}
+	if err := run.Validate(); err != nil {
+		return TableRow{}, fmt.Errorf("%s produced invalid matching: %w", name, err)
+	}
+	row := rowFromRun(run, name, coop)
+	row.MemoryMB = stats.MemoryMB()
+	runtime.KeepAlive(stream) // keep the input in the memory measurement
+	return row, nil
+}
+
+// rowFromRun extracts a table row from one simulation result (memory is
+// the caller's concern — it depends on what else is live).
+func rowFromRun(run *platform.Result, name string, coop bool) TableRow {
+	row := TableRow{Method: name, HasCoop: coop}
+	var totalResp time.Duration
+	var totalReq int
+	for pid, pr := range run.Platforms {
+		totalResp += pr.ResponseTotal
+		totalReq += pr.Stats.Requests
+		switch pid {
+		case 1:
+			row.RevD = pr.Stats.Revenue
+			row.CpRD = pr.Stats.Served
+		case 2:
+			row.RevY = pr.Stats.Revenue
+			row.CpRY = pr.Stats.Served
+		}
+	}
+	if totalReq > 0 {
+		row.ResponseMs = float64(totalResp) / float64(time.Millisecond) / float64(totalReq)
+	}
+	if coop {
+		row.CoR = run.CooperativeServed()
+		row.AcpRt = run.AcceptanceRatio()
+		row.PayRate = run.MeanPaymentRate()
+	}
+	return row
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// VarianceOptions configures the seed-variance methodology study.
+type VarianceOptions struct {
+	Requests, Workers int
+	Radius            float64
+	// Seeds is how many independent seeds to measure (default 12).
+	Seeds int
+	Seed  int64
+}
+
+func (o *VarianceOptions) withDefaults() VarianceOptions {
+	out := *o
+	if out.Requests <= 0 {
+		out.Requests = 2500
+	}
+	if out.Workers <= 0 {
+		out.Workers = 500
+	}
+	if out.Radius <= 0 {
+		out.Radius = 1.0
+	}
+	if out.Seeds <= 0 {
+		out.Seeds = 12
+	}
+	return out
+}
+
+// VarianceRow summarizes one algorithm's revenue spread over seeds.
+type VarianceRow struct {
+	Algorithm string
+	Summary   platform.EnsembleSummary
+}
+
+// VarianceResult is the full study.
+type VarianceResult struct {
+	Opts VarianceOptions
+	Rows []VarianceRow
+}
+
+// Table renders the study.
+func (r *VarianceResult) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Seed variance over %d seeds (|R|=%d, |W|=%d): how many repeats do the randomized algorithms need?",
+			r.Opts.Seeds, r.Opts.Requests, r.Opts.Workers),
+		"Algorithm", "Mean revenue", "Min", "Max", "StdDev/Mean")
+	for _, row := range r.Rows {
+		s := row.Summary
+		tb.Add(row.Algorithm,
+			stats.FormatFloat(s.MeanRevenue, 1),
+			stats.FormatFloat(s.MinRevenue, 1),
+			stats.FormatFloat(s.MaxRevenue, 1),
+			stats.FormatFloat(s.RevenueStdDevFrac, 4))
+	}
+	return tb
+}
+
+// RunVariance quantifies how noisy each algorithm's revenue is across
+// seeds on a fixed stream: TOTA is deterministic (zero spread); DemCOM
+// varies only through its Monte-Carlo payments and acceptance probes;
+// RamCOM additionally draws its value threshold k per run, which
+// dominates its spread. The result justifies the repeat counts used by
+// the table and sweep harnesses (see EXPERIMENTS.md).
+func RunVariance(opts VarianceOptions) (*VarianceResult, error) {
+	o := opts.withDefaults()
+	cfg, err := workload.Synthetic(o.Requests, o.Workers, o.Radius, "real")
+	if err != nil {
+		return nil, err
+	}
+	stream, err := workload.Generate(cfg, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	maxV := cfg.MaxValue()
+	seeds := make([]int64, o.Seeds)
+	for i := range seeds {
+		seeds[i] = o.Seed + int64(i)*6367
+	}
+	gen := func(int64) (*core.Stream, error) { return stream, nil }
+
+	res := &VarianceResult{Opts: o}
+	algos := []struct {
+		name    string
+		factory platform.MatcherFactory
+	}{
+		{platform.AlgTOTA, platform.TOTAFactory()},
+		{platform.AlgDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)},
+		{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{})},
+	}
+	for _, a := range algos {
+		runs, err := platform.RunEnsemble(gen, a.factory, platform.Config{}, seeds, 0)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := platform.Summarize(runs)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, VarianceRow{Algorithm: a.name, Summary: sum})
+	}
+	return res, nil
+}

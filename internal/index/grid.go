@@ -1,0 +1,139 @@
+package index
+
+import (
+	"math"
+
+	"crossmatch/internal/geo"
+)
+
+// Grid is a uniform hash grid over entry centers. An entry lives in the
+// cell containing its center; a covering query at point p must inspect
+// every cell whose contents could include a disk covering p, i.e. all
+// cells within the maximum live radius of p. The grid tracks that
+// maximum and widens its search ring accordingly, so correctness never
+// depends on choosing the cell size well — only performance does.
+type Grid struct {
+	cell    float64 // cell edge length, km
+	cells   map[cellKey][]Entry
+	where   map[int64]cellKey // entry ID -> its cell
+	maxRad  float64           // maximum radius among live entries
+	radDirt bool              // maxRad may overestimate after removals
+	n       int
+}
+
+type cellKey struct{ cx, cy int32 }
+
+// DefaultCell is the cell size used when the caller passes a
+// non-positive size: one kilometre, the paper's default service radius.
+const DefaultCell = 1.0
+
+// NewGrid returns an empty grid with the given cell edge length in
+// kilometres. Non-positive sizes fall back to DefaultCell.
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		cellSize = DefaultCell
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[cellKey][]Entry),
+		where: make(map[int64]cellKey),
+	}
+}
+
+func (g *Grid) key(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert implements Index.
+func (g *Grid) Insert(e Entry) {
+	if _, dup := g.where[e.ID]; dup {
+		g.Remove(e.ID)
+	}
+	k := g.key(e.Circle.Center)
+	g.cells[k] = append(g.cells[k], e)
+	g.where[e.ID] = k
+	if e.Circle.Radius > g.maxRad {
+		g.maxRad = e.Circle.Radius
+		g.radDirt = false
+	}
+	g.n++
+}
+
+// Remove implements Index.
+func (g *Grid) Remove(id int64) bool {
+	k, ok := g.where[id]
+	if !ok {
+		return false
+	}
+	bucket := g.cells[k]
+	for i, e := range bucket {
+		if e.ID == id {
+			if e.Circle.Radius == g.maxRad {
+				g.radDirt = true
+			}
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = bucket
+	}
+	delete(g.where, id)
+	g.n--
+	if g.n == 0 {
+		g.maxRad = 0
+		g.radDirt = false
+	}
+	return true
+}
+
+// searchRadius returns the radius within which entry centers must be
+// inspected. After removals invalidated the cached maximum, it is
+// recomputed lazily (amortized over the removals that dirtied it).
+func (g *Grid) searchRadius() float64 {
+	if g.radDirt {
+		maxRad := 0.0
+		for _, bucket := range g.cells {
+			for _, e := range bucket {
+				if e.Circle.Radius > maxRad {
+					maxRad = e.Circle.Radius
+				}
+			}
+		}
+		g.maxRad = maxRad
+		g.radDirt = false
+	}
+	return g.maxRad
+}
+
+// Covering implements Index.
+func (g *Grid) Covering(dst []Entry, p geo.Point) []Entry {
+	if g.n == 0 {
+		return dst
+	}
+	r := g.searchRadius()
+	ring := int32(math.Ceil(r / g.cell))
+	c := g.key(p)
+	for cx := c.cx - ring; cx <= c.cx+ring; cx++ {
+		for cy := c.cy - ring; cy <= c.cy+ring; cy++ {
+			for _, e := range g.cells[cellKey{cx, cy}] {
+				if e.Covers(p) {
+					dst = append(dst, e)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Len implements Index.
+func (g *Grid) Len() int { return g.n }
+
+// CellSize returns the grid's cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }

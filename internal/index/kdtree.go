@@ -1,0 +1,245 @@
+package index
+
+import (
+	"crossmatch/internal/geo"
+)
+
+// KDTree indexes entries by their centers in a 2-d tree. Each node
+// caches the maximum service radius and the bounding box of its subtree,
+// so a covering query prunes any subtree whose box is farther from the
+// query point than the largest radius it contains. Removal is lazy: the
+// node is tombstoned, and the tree rebuilds itself once tombstones
+// outnumber live entries.
+type KDTree struct {
+	root *kdNode
+	byID map[int64]*kdNode
+	live int
+	dead int
+}
+
+type kdNode struct {
+	entry       Entry
+	left, right *kdNode
+	axis        uint8 // 0 = X, 1 = Y
+	deleted     bool
+	maxRad      float64  // max radius in this subtree (live entries only is not maintained; conservative)
+	bounds      geo.Rect // bounding box of centers in this subtree
+}
+
+// NewKDTree returns an empty tree.
+func NewKDTree() *KDTree {
+	return &KDTree{byID: make(map[int64]*kdNode)}
+}
+
+// BuildKDTree bulk-loads a balanced tree from entries.
+func BuildKDTree(entries []Entry) *KDTree {
+	t := NewKDTree()
+	es := append([]Entry(nil), entries...)
+	t.root = t.build(es, 0)
+	t.live = len(es)
+	return t
+}
+
+func (t *KDTree) build(es []Entry, depth int) *kdNode {
+	if len(es) == 0 {
+		return nil
+	}
+	axis := uint8(depth % 2)
+	mid := len(es) / 2
+	quickSelect(es, mid, axis)
+	n := &kdNode{entry: es[mid], axis: axis}
+	t.byID[n.entry.ID] = n
+	n.left = t.build(es[:mid], depth+1)
+	n.right = t.build(es[mid+1:], depth+1)
+	n.refresh()
+	return n
+}
+
+// quickSelect partially sorts es so that es[k] is the k-th entry by the
+// given axis coordinate (ties by ID for determinism).
+func quickSelect(es []Entry, k int, axis uint8) {
+	lo, hi := 0, len(es)-1
+	for lo < hi {
+		p := partition(es, lo, hi, axis)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+func coord(e Entry, axis uint8) float64 {
+	if axis == 0 {
+		return e.Circle.Center.X
+	}
+	return e.Circle.Center.Y
+}
+
+func less(a, b Entry, axis uint8) bool {
+	ca, cb := coord(a, axis), coord(b, axis)
+	if ca != cb {
+		return ca < cb
+	}
+	return a.ID < b.ID
+}
+
+func partition(es []Entry, lo, hi int, axis uint8) int {
+	// Median-of-three pivot to avoid quadratic behaviour on sorted input.
+	mid := lo + (hi-lo)/2
+	if less(es[mid], es[lo], axis) {
+		es[mid], es[lo] = es[lo], es[mid]
+	}
+	if less(es[hi], es[lo], axis) {
+		es[hi], es[lo] = es[lo], es[hi]
+	}
+	if less(es[hi], es[mid], axis) {
+		es[hi], es[mid] = es[mid], es[hi]
+	}
+	es[mid], es[hi] = es[hi], es[mid]
+	pivot := es[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if less(es[j], pivot, axis) {
+			es[i], es[j] = es[j], es[i]
+			i++
+		}
+	}
+	es[i], es[hi] = es[hi], es[i]
+	return i
+}
+
+// refresh recomputes the node's subtree aggregates from its children.
+func (n *kdNode) refresh() {
+	n.maxRad = n.entry.Circle.Radius
+	c := n.entry.Circle.Center
+	n.bounds = geo.Rect{Min: c, Max: c}
+	for _, ch := range []*kdNode{n.left, n.right} {
+		if ch == nil {
+			continue
+		}
+		if ch.maxRad > n.maxRad {
+			n.maxRad = ch.maxRad
+		}
+		n.bounds = unionRect(n.bounds, ch.bounds)
+	}
+}
+
+func unionRect(a, b geo.Rect) geo.Rect {
+	r := a
+	if b.Min.X < r.Min.X {
+		r.Min.X = b.Min.X
+	}
+	if b.Min.Y < r.Min.Y {
+		r.Min.Y = b.Min.Y
+	}
+	if b.Max.X > r.Max.X {
+		r.Max.X = b.Max.X
+	}
+	if b.Max.Y > r.Max.Y {
+		r.Max.Y = b.Max.Y
+	}
+	return r
+}
+
+// Insert implements Index. New nodes descend to a leaf without
+// rebalancing; aggregates along the path are widened in place.
+func (t *KDTree) Insert(e Entry) {
+	if old, dup := t.byID[e.ID]; dup && !old.deleted {
+		t.Remove(e.ID)
+	}
+	if t.root == nil {
+		t.root = &kdNode{entry: e}
+		t.root.refresh()
+		t.byID[e.ID] = t.root
+		t.live = 1
+		return
+	}
+	n := t.root
+	for {
+		// Widen aggregates on the way down.
+		if e.Circle.Radius > n.maxRad {
+			n.maxRad = e.Circle.Radius
+		}
+		n.bounds = unionRect(n.bounds, geo.Rect{Min: e.Circle.Center, Max: e.Circle.Center})
+		var next **kdNode
+		if less(e, n.entry, n.axis) {
+			next = &n.left
+		} else {
+			next = &n.right
+		}
+		if *next == nil {
+			child := &kdNode{entry: e, axis: (n.axis + 1) % 2}
+			child.refresh()
+			*next = child
+			t.byID[e.ID] = child
+			t.live++
+			return
+		}
+		n = *next
+	}
+}
+
+// Remove implements Index (lazy deletion with periodic rebuild).
+func (t *KDTree) Remove(id int64) bool {
+	n, ok := t.byID[id]
+	if !ok || n.deleted {
+		return false
+	}
+	n.deleted = true
+	delete(t.byID, id)
+	t.live--
+	t.dead++
+	if t.dead > t.live+16 {
+		t.rebuild()
+	}
+	return true
+}
+
+func (t *KDTree) rebuild() {
+	es := make([]Entry, 0, t.live)
+	es = t.collect(t.root, es)
+	t.byID = make(map[int64]*kdNode, len(es))
+	t.root = t.build(es, 0)
+	t.live = len(es)
+	t.dead = 0
+}
+
+func (t *KDTree) collect(n *kdNode, dst []Entry) []Entry {
+	if n == nil {
+		return dst
+	}
+	if !n.deleted {
+		dst = append(dst, n.entry)
+	}
+	dst = t.collect(n.left, dst)
+	return t.collect(n.right, dst)
+}
+
+// Covering implements Index.
+func (t *KDTree) Covering(dst []Entry, p geo.Point) []Entry {
+	return t.covering(t.root, dst, p)
+}
+
+func (t *KDTree) covering(n *kdNode, dst []Entry, p geo.Point) []Entry {
+	if n == nil {
+		return dst
+	}
+	// A disk in this subtree can cover p only if its center is within
+	// maxRad of p; centers live inside n.bounds.
+	if n.bounds.DistToPoint(p) > n.maxRad {
+		return dst
+	}
+	if !n.deleted && n.entry.Covers(p) {
+		dst = append(dst, n.entry)
+	}
+	dst = t.covering(n.left, dst, p)
+	dst = t.covering(n.right, dst, p)
+	return dst
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return t.live }

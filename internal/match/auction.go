@@ -1,0 +1,131 @@
+package match
+
+import "math"
+
+// Auction computes an epsilon-optimal maximum-weight bipartite matching
+// with Bertsekas' forward auction: workers "bid" for their most
+// profitable requests (with staying unmatched as an always-available
+// zero-profit option), prices rise by at least eps per bid, and the
+// fixed point satisfies eps-complementary-slackness, which bounds the
+// shortfall from the optimum by min(NWorkers, NRequests) * eps.
+//
+// AuctionEps sets eps = maxWeight * AuctionEpsFrac, giving a worst-case
+// additive error of minSide * maxWeight * AuctionEpsFrac — about 0.1%
+// relative on typical COM graphs — and a hard bid bound of
+// NRequests / AuctionEpsFrac. Exact answers at scale come from
+// MaxWeightFlow; Auction trades that last fraction of a percent for
+// substantially lower constants on dense graphs (see
+// BenchmarkAuctionVsFlow) and is cross-validated against Hungarian and
+// brute force within its guarantee in the tests.
+func Auction(g *Graph) *Result {
+	return AuctionEps(g, AuctionEpsFrac)
+}
+
+// AuctionEpsFrac is Auction's default eps as a fraction of the maximum
+// edge weight.
+const AuctionEpsFrac = 1e-5
+
+// AuctionEps runs the auction with eps = maxWeight * epsFrac; smaller
+// fractions tighten the guarantee and raise the worst-case bid count
+// proportionally.
+func AuctionEps(g *Graph, epsFrac float64) *Result {
+	edges := g.dedupeBest()
+	nw, nr := g.NWorkers, g.NRequests
+	res := newResult(nw, nr)
+	if nw == 0 || nr == 0 || len(edges) == 0 {
+		return res
+	}
+
+	// Per-worker adjacency and the maximum weight (sets eps).
+	adj := make([][]int32, nw)
+	maxW := 0.0
+	for i, e := range edges {
+		adj[e.Worker] = append(adj[e.Worker], int32(i))
+		if e.Weight > maxW {
+			maxW = e.Weight
+		}
+	}
+
+	price := make([]float64, nr)
+	owner := make([]int32, nr) // request -> worker, -1 free
+	assigned := make([]int32, nw)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i := range assigned {
+		assigned[i] = -1
+	}
+
+	if epsFrac <= 0 {
+		epsFrac = AuctionEpsFrac
+	}
+	eps := math.Max(maxW*epsFrac, 1e-300)
+
+	queue := make([]int32, 0, nw)
+	for w := range assigned {
+		if len(adj[w]) > 0 {
+			queue = append(queue, int32(w))
+		}
+	}
+
+	for len(queue) > 0 {
+		w := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		// Rank w's options by profit; staying unmatched is always an
+		// option with profit 0 (the "null slot").
+		best, second := math.Inf(-1), math.Inf(-1)
+		bestEdge := int32(-1)
+		for _, ei := range adj[w] {
+			e := edges[ei]
+			profit := e.Weight - price[e.Request]
+			if profit > best {
+				second = best
+				best = profit
+				bestEdge = ei
+			} else if profit > second {
+				second = profit
+			}
+		}
+		if 0 > best {
+			best, second, bestEdge = 0, best, -1
+		} else if 0 > second {
+			second = 0
+		}
+		if bestEdge < 0 {
+			continue // the null slot won; w stays unmatched
+		}
+		r := edges[bestEdge].Request
+		// Raise the price by the bid increment (second >= 0 here:
+		// the null option bounds it from below).
+		price[r] += best - second + eps
+		if prev := owner[r]; prev >= 0 {
+			assigned[prev] = -1
+			queue = append(queue, prev)
+		}
+		owner[r] = w
+		assigned[w] = int32(r)
+	}
+
+	// Extract; keep only genuinely profitable assignments (profit can
+	// dip negative by ~n*eps; those pairs would lower total weight).
+	weightOf := make(map[int64]float64, len(edges))
+	for _, e := range edges {
+		weightOf[int64(e.Worker)<<32|int64(uint32(e.Request))] = e.Weight
+	}
+	for r := 0; r < nr; r++ {
+		w := owner[r]
+		if w < 0 {
+			continue
+		}
+		wgt, ok := weightOf[int64(w)<<32|int64(uint32(r))]
+		if !ok || wgt <= 0 {
+			continue
+		}
+		res.WorkerOf[r] = int(w)
+		res.RequestOf[w] = r
+		res.Weight += wgt
+		res.Size++
+	}
+	return res
+}

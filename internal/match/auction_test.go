@@ -1,0 +1,81 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAuctionAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGraph(rng, 5, 5, 10, false)
+		want := BruteForce(g).Weight
+		res := Auction(g)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Weight-want) > 1e-6*(1+want) {
+			t.Fatalf("trial %d: auction %v, brute %v, graph %+v", trial, res.Weight, want, g)
+		}
+	}
+}
+
+func TestAuctionAgreesWithHungarianMedium(t *testing.T) {
+	rng := rand.New(rand.NewSource(654))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(rng, 50, 60, 400, trial%2 == 0)
+		h := Hungarian(g)
+		a := Auction(g)
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(a.Weight-h.Weight) > 1e-6*(1+h.Weight) {
+			t.Fatalf("trial %d: auction %v vs hungarian %v", trial, a.Weight, h.Weight)
+		}
+	}
+}
+
+func TestAuctionEmptyAndDegenerate(t *testing.T) {
+	for _, g := range []*Graph{
+		{NWorkers: 0, NRequests: 0},
+		{NWorkers: 2, NRequests: 2},
+		{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 0, -3}}},
+	} {
+		res := Auction(g)
+		if res.Size != 0 || res.Weight != 0 {
+			t.Errorf("degenerate graph: %+v", res)
+		}
+	}
+	one := &Graph{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 0, 5}}}
+	if res := Auction(one); res.Size != 1 || res.Weight != 5 {
+		t.Errorf("single edge: %+v", res)
+	}
+}
+
+func TestAuctionCompetitionRaisesPrices(t *testing.T) {
+	// Two workers both want r0 (weight 10); one has a fallback r1
+	// (weight 6). Optimal: both matched, total 16.
+	g := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{
+		{0, 0, 10}, {1, 0, 10}, {1, 1, 6},
+	}}
+	res := Auction(g)
+	if res.Size != 2 || math.Abs(res.Weight-16) > 1e-6 {
+		t.Fatalf("auction result: %+v", res)
+	}
+}
+
+func BenchmarkAuctionVsFlow(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 400, 800, 6000, false)
+	b.Run("auction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Auction(g)
+		}
+	})
+	b.Run("mcmf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaxWeightFlow(g)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package match
+
+// HopcroftKarp computes a maximum-cardinality bipartite matching in
+// O(E sqrt(V)). Edge weights are ignored; the result's Weight sums the
+// heaviest parallel edge of each chosen pair so it remains comparable.
+// It provides the upper bound on completed requests and serves as a
+// cross-check for the weighted solvers (a maximum-weight matching can
+// never exceed it in cardinality... but may be smaller; tests assert the
+// direction).
+func HopcroftKarp(g *Graph) *Result {
+	nw, nr := g.NWorkers, g.NRequests
+	res := newResult(nw, nr)
+	if nw == 0 || nr == 0 || len(g.Edges) == 0 {
+		return res
+	}
+	adj := g.adjacency()
+
+	const inf = int32(1 << 30)
+	matchW := res.RequestOf // matchW[w] = request or -1
+	matchR := res.WorkerOf  // matchR[r] = worker or -1
+	distW := make([]int32, nw)
+	queue := make([]int32, 0, nw)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for w := 0; w < nw; w++ {
+			if matchW[w] == -1 {
+				distW[w] = 0
+				queue = append(queue, int32(w))
+			} else {
+				distW[w] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			w := queue[qi]
+			for _, ei := range adj[w] {
+				r := g.Edges[ei].Request
+				mw := matchR[r]
+				if mw == -1 {
+					found = true
+				} else if distW[mw] == inf {
+					distW[mw] = distW[w] + 1
+					queue = append(queue, int32(mw))
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(w int32) bool
+	dfs = func(w int32) bool {
+		for _, ei := range adj[w] {
+			r := g.Edges[ei].Request
+			mw := matchR[r]
+			if mw == -1 || (distW[mw] == distW[w]+1 && dfs(int32(mw))) {
+				matchW[w] = r
+				matchR[r] = int(w)
+				return true
+			}
+		}
+		distW[w] = inf
+		return false
+	}
+
+	for bfs() {
+		for w := int32(0); w < int32(nw); w++ {
+			if matchW[w] == -1 {
+				dfs(w)
+			}
+		}
+	}
+
+	// Weight bookkeeping: heaviest parallel edge per matched pair.
+	best := make(map[int64]float64, len(g.Edges))
+	for _, e := range g.Edges {
+		k := int64(e.Worker)<<32 | int64(uint32(e.Request))
+		if w, ok := best[k]; !ok || e.Weight > w {
+			best[k] = e.Weight
+		}
+	}
+	for w := 0; w < nw; w++ {
+		if r := matchW[w]; r != -1 {
+			res.Size++
+			res.Weight += best[int64(w)<<32|int64(uint32(r))]
+		}
+	}
+	return res
+}

@@ -1,0 +1,120 @@
+package match
+
+import "math"
+
+// Hungarian computes an exact maximum-weight bipartite matching using the
+// Kuhn-Munkres algorithm with potentials (the O(n^3) Jonker-Volgenant
+// formulation). The graph is densified: missing edges get weight 0, and
+// since a maximum-weight matching never benefits from a non-positive
+// edge, zeros act as "unmatched". Intended for instances up to a few
+// thousand vertices per side; use MaxWeightFlow or GreedyAugment beyond.
+func Hungarian(g *Graph) *Result {
+	edges := g.dedupeBest()
+	nw, nr := g.NWorkers, g.NRequests
+	res := newResult(nw, nr)
+	if nw == 0 || nr == 0 || len(edges) == 0 {
+		return res
+	}
+
+	// The classic formulation wants rows <= cols; rows are "jobs" we
+	// assign one by one. Use workers as rows when fewer, else requests.
+	transposed := nw > nr
+	rows, cols := nw, nr
+	if transposed {
+		rows, cols = nr, nw
+	}
+
+	// cost[i][j] = negated weight (we minimize); 0 where no edge.
+	cost := make([][]float64, rows)
+	for i := range cost {
+		cost[i] = make([]float64, cols)
+	}
+	for _, e := range edges {
+		i, j := e.Worker, e.Request
+		if transposed {
+			i, j = e.Request, e.Worker
+		}
+		if -e.Weight < cost[i][j] {
+			cost[i][j] = -e.Weight
+		}
+	}
+
+	// JV algorithm with 1-based sentinel column 0.
+	u := make([]float64, rows+1)
+	v := make([]float64, cols+1)
+	p := make([]int, cols+1) // p[j] = row assigned to column j (1-based), 0 = free
+	way := make([]int, cols+1)
+
+	for i := 1; i <= rows; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, cols+1)
+		used := make([]bool, cols+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= cols; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= cols; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	// Extract assignment, dropping pairs that are not real positive-weight
+	// edges (the dense zeros).
+	weightOf := make(map[int64]float64, len(edges))
+	for _, e := range edges {
+		weightOf[int64(e.Worker)<<32|int64(uint32(e.Request))] = e.Weight
+	}
+	for j := 1; j <= cols; j++ {
+		i := p[j]
+		if i == 0 {
+			continue
+		}
+		w, r := i-1, j-1
+		if transposed {
+			w, r = j-1, i-1
+		}
+		wgt, ok := weightOf[int64(w)<<32|int64(uint32(r))]
+		if !ok || wgt <= 0 {
+			continue
+		}
+		res.WorkerOf[r] = w
+		res.RequestOf[w] = r
+		res.Weight += wgt
+		res.Size++
+	}
+	return res
+}

@@ -1,0 +1,353 @@
+package match
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solvers() map[string]func(*Graph) *Result {
+	return map[string]func(*Graph) *Result{
+		"hungarian": Hungarian,
+		"mcmf":      MaxWeightFlow,
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	all := solvers()
+	all["hopcroftkarp"] = HopcroftKarp
+	all["greedy"] = GreedyAugment
+	all["brute"] = BruteForce
+	graphs := []*Graph{
+		{NWorkers: 0, NRequests: 0},
+		{NWorkers: 3, NRequests: 0},
+		{NWorkers: 0, NRequests: 3},
+		{NWorkers: 2, NRequests: 2}, // no edges
+	}
+	for name, solve := range all {
+		for gi, g := range graphs {
+			res := solve(g)
+			if res.Size != 0 || res.Weight != 0 {
+				t.Errorf("%s on empty graph %d: size=%d weight=%v", name, gi, res.Size, res.Weight)
+			}
+			if err := res.Validate(g); err != nil {
+				t.Errorf("%s on graph %d: %v", name, gi, err)
+			}
+		}
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	g := &Graph{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 0, 5}}}
+	for name, solve := range solvers() {
+		res := solve(g)
+		if res.Size != 1 || res.Weight != 5 {
+			t.Errorf("%s: size=%d weight=%v, want 1/5", name, res.Size, res.Weight)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestNegativeAndZeroEdgesIgnored(t *testing.T) {
+	g := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{
+		{0, 0, -3}, {0, 1, 0}, {1, 0, 4},
+	}}
+	for name, solve := range solvers() {
+		res := solve(g)
+		if res.Size != 1 || res.Weight != 4 {
+			t.Errorf("%s: size=%d weight=%v, want 1/4", name, res.Size, res.Weight)
+		}
+	}
+}
+
+func TestParallelEdgesKeepHeaviest(t *testing.T) {
+	g := &Graph{NWorkers: 1, NRequests: 1, Edges: []Edge{
+		{0, 0, 2}, {0, 0, 7}, {0, 0, 5},
+	}}
+	for name, solve := range solvers() {
+		res := solve(g)
+		if res.Weight != 7 {
+			t.Errorf("%s: weight=%v, want 7", name, res.Weight)
+		}
+	}
+}
+
+// TestWeightVsCardinalityTradeoff: taking fewer, heavier edges must beat
+// more, lighter ones for the weighted solvers.
+func TestWeightVsCardinalityTradeoff(t *testing.T) {
+	// w0 can serve r0 (10) or r1 (1); w1 can serve only r0 (1).
+	// Max cardinality: w0-r1, w1-r0 (size 2, weight 2).
+	// Max weight: w0-r0 alone... but w0-r0 + nothing = 10 vs w0-r1+w1-r0 = 2.
+	g := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{
+		{0, 0, 10}, {0, 1, 1}, {1, 0, 1},
+	}}
+	for name, solve := range solvers() {
+		res := solve(g)
+		// Optimal weight is 11: w0-r1 (1) + w1-r0 (1) = 2; w0-r0 (10) +
+		// w1 unmatched = 10; actually w0-r0 and w1 has only r0 which is
+		// taken, so best is 10... wait: w0-r0=10, w1-r0 impossible. And
+		// w0-r1=1 + w1-r0=1 = 2. So max = 10.
+		if math.Abs(res.Weight-10) > 1e-9 {
+			t.Errorf("%s: weight=%v, want 10", name, res.Weight)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	hk := HopcroftKarp(g)
+	if hk.Size != 2 {
+		t.Errorf("HopcroftKarp size=%d, want 2", hk.Size)
+	}
+}
+
+func TestAugmentingChainNeeded(t *testing.T) {
+	// Classic chain: greedy by weight takes w0-r0 (5), then r1 only has
+	// w0 -> must augment w0 to r1? No: w0 covers r0, r1; w1 covers r0.
+	// Weights: w0-r0 5, w0-r1 4, w1-r0 3. Optimal: w0-r1 + w1-r0 = 7.
+	g := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{
+		{0, 0, 5}, {0, 1, 4}, {1, 0, 3},
+	}}
+	want := 7.0
+	for name, solve := range solvers() {
+		res := solve(g)
+		if math.Abs(res.Weight-want) > 1e-9 {
+			t.Errorf("%s: weight=%v, want %v", name, res.Weight, want)
+		}
+	}
+	brute := BruteForce(g)
+	if math.Abs(brute.Weight-want) > 1e-9 {
+		t.Errorf("brute: weight=%v, want %v", brute.Weight, want)
+	}
+}
+
+func randomGraph(rng *rand.Rand, maxW, maxR, maxEdges int, vertexWeighted bool) *Graph {
+	nw := 1 + rng.Intn(maxW)
+	nr := 1 + rng.Intn(maxR)
+	ne := rng.Intn(maxEdges + 1)
+	g := &Graph{NWorkers: nw, NRequests: nr}
+	reqWeight := make([]float64, nr)
+	for r := range reqWeight {
+		reqWeight[r] = 1 + math.Floor(rng.Float64()*20)
+	}
+	for i := 0; i < ne; i++ {
+		e := Edge{Worker: rng.Intn(nw), Request: rng.Intn(nr)}
+		if vertexWeighted {
+			e.Weight = reqWeight[e.Request]
+		} else {
+			e.Weight = 1 + math.Floor(rng.Float64()*20)
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	return g
+}
+
+// TestSolversAgreeWithBruteForce cross-validates Hungarian and MCMF
+// against exhaustive search on random tiny instances.
+func TestSolversAgreeWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGraph(rng, 5, 5, 10, false)
+		want := BruteForce(g).Weight
+		for name, solve := range solvers() {
+			res := solve(g)
+			if err := res.Validate(g); err != nil {
+				t.Fatalf("trial %d: %s invalid: %v", trial, name, err)
+			}
+			if math.Abs(res.Weight-want) > 1e-6 {
+				t.Fatalf("trial %d: %s weight=%v, brute=%v, graph=%+v", trial, name, res.Weight, want, g)
+			}
+		}
+	}
+}
+
+// TestHungarianEqualsMCMFMedium cross-validates the two exact solvers on
+// instances too big for brute force.
+func TestHungarianEqualsMCMFMedium(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 40, 40, 300, false)
+		h := Hungarian(g)
+		f := MaxWeightFlow(g)
+		if err := h.Validate(g); err != nil {
+			t.Fatalf("trial %d: hungarian invalid: %v", trial, err)
+		}
+		if err := f.Validate(g); err != nil {
+			t.Fatalf("trial %d: mcmf invalid: %v", trial, err)
+		}
+		if math.Abs(h.Weight-f.Weight) > 1e-6 {
+			t.Fatalf("trial %d: hungarian=%v mcmf=%v", trial, h.Weight, f.Weight)
+		}
+	}
+}
+
+// TestGreedyExactOnVertexWeighted: with request-vertex weights the greedy
+// augmenting solver is exact (transversal matroid greedy).
+func TestGreedyExactOnVertexWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 6, 6, 12, true)
+		want := BruteForce(g).Weight
+		res := GreedyAugment(g)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Weight-want) > 1e-6 {
+			t.Fatalf("trial %d: greedy=%v brute=%v graph=%+v", trial, res.Weight, want, g)
+		}
+	}
+}
+
+// TestEdgeGreedyHalfBound: edge-greedy carries the classic 1/2
+// worst-case approximation on arbitrary weights.
+func TestEdgeGreedyHalfBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 6, 6, 14, false)
+		opt := BruteForce(g).Weight
+		res := EdgeGreedy(g)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Weight < opt/2-1e-9 {
+			t.Fatalf("trial %d: edge-greedy=%v < half of %v", trial, res.Weight, opt)
+		}
+	}
+}
+
+// TestGreedyAugmentNeverExceedsOptimum: with arbitrary per-edge weights
+// the augmenting greedy is a heuristic; it must stay valid and at or
+// below the optimum.
+func TestGreedyAugmentBoundedByOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 6, 6, 14, false)
+		opt := BruteForce(g).Weight
+		res := GreedyAugment(g)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Weight > opt+1e-9 {
+			t.Fatalf("trial %d: greedy=%v exceeds optimum %v", trial, res.Weight, opt)
+		}
+	}
+}
+
+// TestHopcroftKarpMaxCardinality validates HK's cardinality against the
+// max-cardinality derived from brute force over 0/1 weights.
+func TestHopcroftKarpMaxCardinality(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraph(rng, 6, 6, 12, false)
+		unit := &Graph{NWorkers: g.NWorkers, NRequests: g.NRequests}
+		for _, e := range g.Edges {
+			unit.Edges = append(unit.Edges, Edge{e.Worker, e.Request, 1})
+		}
+		want := BruteForce(unit).Size
+		res := HopcroftKarp(g)
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Size != want {
+			t.Fatalf("trial %d: HK size=%d, want %d", trial, res.Size, want)
+		}
+	}
+}
+
+// TestWeightedNeverExceedsCardinalityBound: matched pairs of any solver
+// cannot exceed the HK maximum cardinality.
+func TestWeightedNeverExceedsCardinalityBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 100; trial++ {
+		g := randomGraph(rng, 10, 10, 40, false)
+		bound := HopcroftKarp(g).Size
+		for name, solve := range solvers() {
+			if got := solve(g).Size; got > bound {
+				t.Fatalf("trial %d: %s size %d > HK bound %d", trial, name, got, bound)
+			}
+		}
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	good := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{{0, 1, 3}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+	bad := []*Graph{
+		{NWorkers: -1},
+		{NWorkers: 1, NRequests: 1, Edges: []Edge{{1, 0, 1}}},
+		{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 2, 1}}},
+		{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 0, math.NaN()}}},
+		{NWorkers: 1, NRequests: 1, Edges: []Edge{{0, 0, math.Inf(1)}}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("bad graph %d accepted", i)
+		}
+	}
+}
+
+func TestResultValidateDetectsCorruption(t *testing.T) {
+	g := &Graph{NWorkers: 2, NRequests: 2, Edges: []Edge{{0, 0, 5}, {1, 1, 3}}}
+	res := Hungarian(g)
+	if err := res.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	res.Weight += 1
+	if err := res.Validate(g); err == nil {
+		t.Error("weight corruption undetected")
+	}
+	res.Weight -= 1
+	res.WorkerOf[0] = 1 // inconsistent pairing
+	if err := res.Validate(g); err == nil {
+		t.Error("pairing corruption undetected")
+	}
+}
+
+func TestLargeSparseAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2024))
+	g := randomGraph(rng, 300, 500, 3000, false)
+	h := Hungarian(g)
+	f := MaxWeightFlow(g)
+	if math.Abs(h.Weight-f.Weight) > 1e-6 {
+		t.Fatalf("hungarian=%v mcmf=%v", h.Weight, f.Weight)
+	}
+	gr := GreedyAugment(g)
+	if gr.Weight > h.Weight+1e-9 {
+		t.Fatalf("greedy %v exceeds optimum %v", gr.Weight, h.Weight)
+	}
+	eg := EdgeGreedy(g)
+	if eg.Weight < h.Weight/2 {
+		t.Fatalf("edge-greedy %v below half of optimum %v", eg.Weight, h.Weight)
+	}
+}
+
+func BenchmarkSolvers(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(rng, 200, 400, 2500, false)
+	b.Run("hungarian", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Hungarian(g)
+		}
+	})
+	b.Run("mcmf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaxWeightFlow(g)
+		}
+	})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GreedyAugment(g)
+		}
+	})
+	b.Run("hopcroftkarp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			HopcroftKarp(g)
+		}
+	})
+}

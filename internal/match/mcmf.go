@@ -1,0 +1,195 @@
+package match
+
+import (
+	"container/heap"
+	"math"
+)
+
+// MaxWeightFlow computes an exact maximum-weight bipartite matching via
+// min-cost max-flow: source -> worker (capacity 1, cost 0), worker ->
+// request (capacity 1, cost -weight), request -> sink (capacity 1,
+// cost 0). Successive shortest paths are found with Dijkstra over reduced
+// costs (Johnson potentials, initialized by one Bellman-Ford-style pass,
+// which the graph's structure makes a single relaxation sweep).
+// Augmentation stops as soon as the cheapest augmenting path has
+// non-negative cost, i.e. when one more match would not increase total
+// weight — yielding the maximum-weight (not maximum-cardinality)
+// matching, exactly the OFF objective.
+//
+// Complexity O(F * E log V) with F matched pairs; comfortably handles
+// the paper's table-scale instances because the feasibility graph is
+// radius-sparse.
+func MaxWeightFlow(g *Graph) *Result {
+	edges := g.dedupeBest()
+	nw, nr := g.NWorkers, g.NRequests
+	res := newResult(nw, nr)
+	if nw == 0 || nr == 0 || len(edges) == 0 {
+		return res
+	}
+
+	// Node numbering: 0 = source, 1..nw = workers, nw+1..nw+nr = requests,
+	// nw+nr+1 = sink.
+	n := nw + nr + 2
+	src, snk := 0, n-1
+
+	type arc struct {
+		to   int32
+		next int32   // index of next arc out of the same node, -1 = none
+		cap  int8    // residual capacity (0 or 1)
+		cost float64 // cost of pushing one unit
+	}
+	// Arcs come in pairs: arc i and i^1 are mutual reverses.
+	arcs := make([]arc, 0, 2*(nw+nr+len(edges)))
+	head := make([]int32, n)
+	for i := range head {
+		head[i] = -1
+	}
+	addArc := func(from, to int, cost float64) {
+		arcs = append(arcs, arc{to: int32(to), next: head[from], cap: 1, cost: cost})
+		head[from] = int32(len(arcs) - 1)
+		arcs = append(arcs, arc{to: int32(from), next: head[to], cap: 0, cost: -cost})
+		head[to] = int32(len(arcs) - 1)
+	}
+	for w := 0; w < nw; w++ {
+		addArc(src, 1+w, 0)
+	}
+	edgeArc := make([]int32, len(edges)) // forward-arc index per graph edge
+	for i, e := range edges {
+		edgeArc[i] = int32(len(arcs))
+		addArc(1+e.Worker, 1+nw+e.Request, -e.Weight)
+	}
+	for r := 0; r < nr; r++ {
+		addArc(1+nw+r, snk, 0)
+	}
+
+	// Potentials. Costs are negative only on worker->request arcs, and
+	// the initial residual graph is a DAG src->W->R->snk, so one sweep in
+	// topological order (src, workers, requests, sink) yields shortest
+	// distances.
+	pot := make([]float64, n)
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[src] = 0
+	for w := 0; w < nw; w++ {
+		pot[1+w] = 0 // src->worker cost 0
+	}
+	for i, e := range edges {
+		_ = i
+		r := 1 + nw + e.Request
+		if c := pot[1+e.Worker] - e.Weight; c < pot[r] {
+			pot[r] = c
+		}
+	}
+	for r := 0; r < nr; r++ {
+		if pot[1+nw+r] < pot[snk] {
+			pot[snk] = pot[1+nw+r]
+		}
+	}
+	for i := range pot {
+		if math.IsInf(pot[i], 1) {
+			pot[i] = 0 // unreachable; any finite value keeps reduced costs sane
+		}
+	}
+
+	dist := make([]float64, n)
+	prevArc := make([]int32, n)
+
+	for {
+		// Dijkstra on reduced costs from src.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevArc[i] = -1
+		}
+		dist[src] = 0
+		pq := &arcHeap{}
+		heap.Push(pq, arcHeapItem{node: src, dist: 0})
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(arcHeapItem)
+			u := it.node
+			if it.dist > dist[u] {
+				continue
+			}
+			for ai := head[u]; ai != -1; ai = arcs[ai].next {
+				a := arcs[ai]
+				if a.cap == 0 {
+					continue
+				}
+				v := int(a.to)
+				rc := a.cost + pot[u] - pot[v]
+				// Johnson potentials keep reduced costs non-negative in
+				// exact arithmetic; float drift can leave them a hair
+				// below zero, and equal-weight parallel edges (every
+				// inner edge into one request weighs the same) then form
+				// zero-cost cycles that an un-clamped Dijkstra walks
+				// forever by ~1e-16 "improvements". Clamp, and demand a
+				// material improvement.
+				if rc < 0 {
+					rc = 0
+				}
+				nd := dist[u] + rc
+				if nd+1e-9 < dist[v] {
+					dist[v] = nd
+					prevArc[v] = ai
+					heap.Push(pq, arcHeapItem{node: v, dist: nd})
+				}
+			}
+		}
+		if math.IsInf(dist[snk], 1) {
+			break // no augmenting path at all
+		}
+		pathCost := dist[snk] + pot[snk] - pot[src]
+		if pathCost >= -1e-12 {
+			break // further matches would not add weight
+		}
+		// Update potentials. Nodes unreachable this round are capped at
+		// dist[snk]; this keeps reduced costs non-negative on every
+		// residual arc even when reachability changes between rounds.
+		for i := range pot {
+			if dist[i] < dist[snk] {
+				pot[i] += dist[i]
+			} else {
+				pot[i] += dist[snk]
+			}
+		}
+		// Augment one unit along the path.
+		for v := snk; v != src; {
+			ai := prevArc[v]
+			arcs[ai].cap--
+			arcs[ai^1].cap++
+			v = int(arcs[ai^1].to)
+		}
+	}
+
+	// Extract matching: a graph edge is chosen iff its forward arc is
+	// saturated (cap 0) and its reverse holds the unit.
+	for i, e := range edges {
+		ai := edgeArc[i]
+		if arcs[ai].cap == 0 && arcs[ai^1].cap == 1 {
+			res.WorkerOf[e.Request] = e.Worker
+			res.RequestOf[e.Worker] = e.Request
+			res.Weight += e.Weight
+			res.Size++
+		}
+	}
+	return res
+}
+
+type arcHeapItem struct {
+	node int
+	dist float64
+}
+
+type arcHeap []arcHeapItem
+
+func (h arcHeap) Len() int            { return len(h) }
+func (h arcHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h arcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arcHeap) Push(x interface{}) { *h = append(*h, x.(arcHeapItem)) }
+func (h *arcHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,127 @@
+package online
+
+import (
+	"math/rand"
+	"sort"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/pricing"
+)
+
+// DemCOM is the deterministic cross online matching algorithm
+// (Algorithm 1). It gives inner workers absolute priority — an incoming
+// request goes to the nearest available inner worker when one covers it
+// (lines 3-6) — and otherwise turns the request into a cooperative one:
+// the minimum outer payment is estimated by Monte-Carlo sampling
+// (Algorithm 2), each eligible outer worker is probed for acceptance at
+// that payment, and the nearest accepting worker is claimed (lines
+// 8-26). The platform books v - v' for cooperative requests.
+type DemCOM struct {
+	pool *Pool
+	coop CoopView
+	mc   pricing.MonteCarlo
+	rng  *rand.Rand
+
+	// PaymentOracle, when true, replaces the Algorithm 2 estimator with
+	// the exact minimum acceptable payment (the cheapest history value
+	// among eligible workers). Used by the ablation study to cost the
+	// Monte-Carlo sampling error; off in all paper-faithful runs.
+	PaymentOracle bool
+}
+
+// NewDemCOM builds the matcher. coop supplies and claims outer workers
+// (use NoCoop to degrade to TOTA); mc configures Algorithm 2; rng drives
+// both the sampling and the acceptance probes.
+func NewDemCOM(coop CoopView, mc pricing.MonteCarlo, rng *rand.Rand) *DemCOM {
+	if coop == nil {
+		coop = NoCoop{}
+	}
+	return &DemCOM{pool: NewPool(nil), coop: coop, mc: mc, rng: rng}
+}
+
+// Name implements Matcher.
+func (m *DemCOM) Name() string { return "DemCOM" }
+
+// WorkerArrives implements Matcher.
+func (m *DemCOM) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
+
+// Pool exposes the inner waiting list.
+func (m *DemCOM) Pool() *Pool { return m.pool }
+
+// RequestArrives implements Matcher (Algorithm 1).
+func (m *DemCOM) RequestArrives(r *core.Request) Decision {
+	// Lines 3-6: nearest available inner worker wins outright.
+	if w, ok := m.pool.Nearest(r); ok {
+		m.pool.Remove(w.ID)
+		return Decision{
+			Served:     true,
+			Assignment: core.Assignment{Request: r, Worker: w},
+		}
+	}
+
+	// Line 8: eligible outer workers.
+	cands := m.coop.EligibleOuter(r)
+	if len(cands) == 0 {
+		return Decision{} // lines 9-10: reject
+	}
+
+	// Line 12: estimate the minimum outer payment.
+	payment := m.estimatePayment(r, cands)
+	if payment > r.Value {
+		// Lines 13-14: serving would lose money; reject. The request
+		// still counts as cooperative-attempted for AcpRt.
+		return Decision{CoopAttempted: true}
+	}
+
+	// Lines 15-20: probe each eligible worker's willingness at v'.
+	accepting := probeAccepting(cands, payment, m.rng)
+	if len(accepting) == 0 {
+		return Decision{CoopAttempted: true} // line 26
+	}
+
+	// Lines 21-24: nearest accepting worker, claimed atomically.
+	best, ok := claimNearestAccepting(m.coop, accepting, r)
+	if !ok {
+		return Decision{CoopAttempted: true}
+	}
+	return Decision{
+		Served:        true,
+		CoopAttempted: true,
+		Assignment: core.Assignment{
+			Request: r,
+			Worker:  best.Worker,
+			Payment: payment,
+			Outer:   true,
+		},
+	}
+}
+
+// mcGroupCap bounds the candidate group handed to the Monte-Carlo
+// estimator. The minimum outer payment is governed by the cheapest
+// acceptance frontiers; candidates whose history floors are far above
+// the group's minimum almost never flip a sampled instance, so keeping
+// the cap-cheapest candidates leaves the estimate statistically
+// unchanged while bounding per-request cost on dense worker pools (the
+// full candidate set is still probed for actual acceptance afterwards).
+const mcGroupCap = 24
+
+func (m *DemCOM) estimatePayment(r *core.Request, cands []Candidate) float64 {
+	group := make([]*pricing.History, len(cands))
+	for i, c := range cands {
+		group[i] = c.History
+	}
+	if m.PaymentOracle {
+		return pricing.ExactMinAcceptable(r.Value, group)
+	}
+	if len(group) > mcGroupCap {
+		sort.Slice(group, func(i, j int) bool { return group[i].Min() < group[j].Min() })
+		group = group[:mcGroupCap]
+	}
+	est, err := m.mc.MinOuterPayment(r.Value, group, m.rng)
+	if err != nil {
+		// Only reachable with invalid configuration; fail safe by
+		// rejecting cooperation (estimate above value).
+		return r.Value * 2
+	}
+	return est
+}

@@ -1,0 +1,185 @@
+// Package online implements the online matching algorithms of the paper:
+//
+//   - TOTAGreedy — the traditional online task assignment baseline [9]:
+//     serve each incoming request with the nearest available inner
+//     worker, never cooperating across platforms.
+//   - GreedyRT — the randomized-threshold variant of [9] used in the
+//     competitive-ratio study.
+//   - DemCOM — deterministic cross online matching (Algorithm 1 + the
+//     Monte-Carlo minimum outer payment of Algorithm 2).
+//   - RamCOM — randomized cross online matching (Algorithm 3): a random
+//     value threshold steers large-value requests to inner workers and
+//     prices cooperative requests at the maximum expected revenue of
+//     Definition 4.1.
+//
+// A matcher consumes one platform's arrival events. Inner workers are
+// held in a Pool owned by the matcher's platform; outer workers are
+// reached through the CoopView interface, implemented by the
+// platform.Hub, which shares unoccupied workers across platforms and
+// makes claims atomic (an outer worker assigned by any platform
+// disappears from every waiting list, per Definition 2.3).
+package online
+
+import (
+	"math/rand"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/pricing"
+)
+
+// Candidate is an outer worker eligible for a cooperative request,
+// paired with its acceptance history.
+type Candidate struct {
+	Worker  *core.Worker
+	History *pricing.History
+}
+
+// CoopView is the matcher's window onto other platforms' unoccupied
+// workers. Implementations must apply the time and range constraints of
+// Definition 2.6 in EligibleOuter and must make Claim atomic across
+// platforms.
+type CoopView interface {
+	// EligibleOuter returns the outer workers able to serve r under all
+	// Definition 2.6 constraints, i.e. unoccupied workers of other
+	// platforms whose service range covers r and who arrived before it.
+	EligibleOuter(r *core.Request) []Candidate
+	// Claim attempts to take the worker for an assignment, removing it
+	// from every platform's waiting list. It reports false when the
+	// worker was concurrently assigned elsewhere.
+	Claim(workerID int64) bool
+}
+
+// NoCoop is a CoopView with no cooperative platforms: COM degenerates to
+// TOTA when W_out is empty (used by the degradation ablation).
+type NoCoop struct{}
+
+// EligibleOuter implements CoopView.
+func (NoCoop) EligibleOuter(*core.Request) []Candidate { return nil }
+
+// Claim implements CoopView.
+func (NoCoop) Claim(int64) bool { return false }
+
+// Decision records the outcome of one request arrival.
+type Decision struct {
+	Assignment core.Assignment
+	Served     bool
+	// CoopAttempted is true when the request was offered to outer
+	// workers (it became a "cooperative request"), regardless of
+	// whether any accepted. AcpRt in the evaluation is
+	// served-cooperative / attempted-cooperative.
+	CoopAttempted bool
+}
+
+// Matcher is an online matching algorithm bound to one platform.
+type Matcher interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// WorkerArrives adds an inner worker to the platform's waiting list.
+	WorkerArrives(w *core.Worker)
+	// RequestArrives decides the fate of an incoming request
+	// immediately (the online constraint): serve it with an inner
+	// worker, serve it with a claimed outer worker, or reject it.
+	RequestArrives(r *core.Request) Decision
+}
+
+// Stats tallies a matcher's outcomes; the simulation layer aggregates
+// them into the paper's effectiveness metrics.
+type Stats struct {
+	Requests      int     // requests seen
+	Served        int     // requests served (inner + outer)
+	ServedInner   int     // requests served by inner workers
+	ServedOuter   int     // cooperative requests accepted (|CoR| contribution)
+	CoopAttempted int     // requests offered to outer workers
+	Revenue       float64 // total platform revenue (Equation 1)
+	PaymentSum    float64 // sum of outer payments v'
+	PaymentRate   float64 // sum of v'/v over outer assignments
+}
+
+// Observe folds one decision into the stats.
+func (s *Stats) Observe(d Decision) {
+	s.Requests++
+	if d.CoopAttempted {
+		s.CoopAttempted++
+	}
+	if !d.Served {
+		return
+	}
+	s.Served++
+	s.Revenue += d.Assignment.Revenue()
+	if d.Assignment.Outer {
+		s.ServedOuter++
+		s.PaymentSum += d.Assignment.Payment
+		s.PaymentRate += d.Assignment.Payment / d.Assignment.Request.Value
+	} else {
+		s.ServedInner++
+	}
+}
+
+// AcceptanceRatio returns served-cooperative over attempted-cooperative
+// (the paper's AcpRt), or 0 when no cooperation was attempted.
+func (s *Stats) AcceptanceRatio() float64 {
+	if s.CoopAttempted == 0 {
+		return 0
+	}
+	return float64(s.ServedOuter) / float64(s.CoopAttempted)
+}
+
+// MeanPaymentRate returns the average v'/v over outer assignments (the
+// paper's outer payment rate), or 0 when there were none.
+func (s *Stats) MeanPaymentRate() float64 {
+	if s.ServedOuter == 0 {
+		return 0
+	}
+	return s.PaymentRate / float64(s.ServedOuter)
+}
+
+// probeAccepting samples each candidate's willingness to serve at the
+// given payment (Algorithm 1, lines 17-20) and returns the accepting
+// subset, preserving order.
+func probeAccepting(cands []Candidate, payment float64, rng *rand.Rand) []Candidate {
+	accepting := cands[:0:0]
+	for _, c := range cands {
+		if c.History.Accepts(payment, rng) {
+			accepting = append(accepting, c)
+		}
+	}
+	return accepting
+}
+
+// nearestCandidate returns the candidate whose worker is closest to the
+// request, ties broken by smallest worker ID; ok=false on empty input.
+func nearestCandidate(cands []Candidate, r *core.Request) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	bestD := best.Worker.Loc.Dist2(r.Loc)
+	for _, c := range cands[1:] {
+		d := c.Worker.Loc.Dist2(r.Loc)
+		if d < bestD || (d == bestD && c.Worker.ID < best.Worker.ID) {
+			best, bestD = c, d
+		}
+	}
+	return best, true
+}
+
+// claimNearestAccepting walks accepting candidates from nearest to
+// farthest, claiming the first still available (Algorithm 1, lines
+// 21-24, hardened against concurrent claims by other platforms).
+func claimNearestAccepting(coop CoopView, cands []Candidate, r *core.Request) (Candidate, bool) {
+	remaining := append([]Candidate(nil), cands...)
+	for len(remaining) > 0 {
+		best, _ := nearestCandidate(remaining, r)
+		if coop.Claim(best.Worker.ID) {
+			return best, true
+		}
+		// Claimed elsewhere between eligibility and now; drop and retry.
+		for i, c := range remaining {
+			if c.Worker.ID == best.Worker.ID {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+	}
+	return Candidate{}, false
+}

@@ -1,0 +1,103 @@
+package online
+
+import (
+	"crossmatch/internal/core"
+	"crossmatch/internal/index"
+)
+
+// RangeFilter refines the range constraint beyond the Euclidean circle:
+// given a worker whose circle covers the request (per the spatial
+// index), it reports whether the worker can actually serve it. The road
+// network model (internal/roadnet.Coverage) is the canonical
+// implementation; nil means pure Euclidean ranges, the paper's default.
+type RangeFilter func(w *core.Worker, r *core.Request) bool
+
+// Pool is a platform's waiting list of unoccupied workers (Definition
+// 2.2's "waiting list"), indexed spatially for the hot coverage query.
+// It enforces the time constraint in Covering and is not safe for
+// concurrent use; the event loop serializes access.
+type Pool struct {
+	ix      index.Index
+	workers map[int64]*core.Worker
+	// Filter optionally refines coverage (e.g. road distance); it must
+	// only ever prune workers whose Euclidean circle covers the request.
+	Filter RangeFilter
+}
+
+// NewPool returns an empty pool over the given spatial index. A nil
+// index defaults to a grid with the default cell size.
+func NewPool(ix index.Index) *Pool {
+	if ix == nil {
+		ix = index.NewGrid(index.DefaultCell)
+	}
+	return &Pool{ix: ix, workers: make(map[int64]*core.Worker)}
+}
+
+// Add registers a worker as waiting. Re-adding an ID replaces the entry
+// (a worker returning after a completed service arrives as a fresh
+// waiting-list entry).
+func (p *Pool) Add(w *core.Worker) {
+	p.workers[w.ID] = w
+	p.ix.Insert(index.Entry{ID: w.ID, Circle: w.Range()})
+}
+
+// Remove deletes a worker from the waiting list, reporting presence.
+func (p *Pool) Remove(id int64) bool {
+	if _, ok := p.workers[id]; !ok {
+		return false
+	}
+	delete(p.workers, id)
+	p.ix.Remove(id)
+	return true
+}
+
+// Get returns the waiting worker with the given ID.
+func (p *Pool) Get(id int64) (*core.Worker, bool) {
+	w, ok := p.workers[id]
+	return w, ok
+}
+
+// Len returns the number of waiting workers.
+func (p *Pool) Len() int { return len(p.workers) }
+
+// Covering returns the waiting workers able to serve r under the time
+// and range constraints of Definition 2.6, in unspecified order.
+func (p *Pool) Covering(r *core.Request) []*core.Worker {
+	entries := p.ix.Covering(nil, r.Loc)
+	out := make([]*core.Worker, 0, len(entries))
+	for _, e := range entries {
+		w := p.workers[e.ID]
+		if w == nil || w.Arrival > r.Arrival {
+			continue
+		}
+		if p.Filter != nil && !p.Filter(w, r) {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Nearest returns the closest waiting worker able to serve r, ties by
+// smallest ID; ok=false when none can.
+func (p *Pool) Nearest(r *core.Request) (*core.Worker, bool) {
+	var best *core.Worker
+	bestD := 0.0
+	for _, w := range p.Covering(r) {
+		d := w.Loc.Dist2(r.Loc)
+		if best == nil || d < bestD || (d == bestD && w.ID < best.ID) {
+			best, bestD = w, d
+		}
+	}
+	return best, best != nil
+}
+
+// Each calls fn for every waiting worker until fn returns false.
+// Iteration order is unspecified.
+func (p *Pool) Each(fn func(*core.Worker) bool) {
+	for _, w := range p.workers {
+		if !fn(w) {
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package online
+
+import (
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+)
+
+func poolWorker(id int64, t core.Time, x, y, rad float64) *core.Worker {
+	return &core.Worker{ID: id, Arrival: t, Loc: geo.Point{X: x, Y: y}, Radius: rad, Platform: 1}
+}
+
+func poolRequest(id int64, t core.Time, x, y, v float64) *core.Request {
+	return &core.Request{ID: id, Arrival: t, Loc: geo.Point{X: x, Y: y}, Value: v, Platform: 1}
+}
+
+func TestPoolAddRemoveLen(t *testing.T) {
+	p := NewPool(nil)
+	if p.Len() != 0 {
+		t.Fatal("new pool not empty")
+	}
+	p.Add(poolWorker(1, 0, 0, 0, 1))
+	p.Add(poolWorker(2, 0, 5, 5, 1))
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if !p.Remove(1) || p.Remove(1) || p.Remove(42) {
+		t.Error("Remove semantics broken")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len after remove = %d", p.Len())
+	}
+	if _, ok := p.Get(2); !ok {
+		t.Error("Get(2) missing")
+	}
+	if _, ok := p.Get(1); ok {
+		t.Error("Get(1) should be gone")
+	}
+}
+
+func TestPoolCoveringAppliesTimeAndRange(t *testing.T) {
+	p := NewPool(nil)
+	p.Add(poolWorker(1, 5, 0, 0, 2))  // in range, early enough
+	p.Add(poolWorker(2, 20, 0, 0, 2)) // in range, arrives too late
+	p.Add(poolWorker(3, 5, 9, 9, 2))  // out of range
+	r := poolRequest(1, 10, 1, 0, 5)
+	got := p.Covering(r)
+	if len(got) != 1 || got[0].ID != 1 {
+		ids := []int64{}
+		for _, w := range got {
+			ids = append(ids, w.ID)
+		}
+		t.Fatalf("Covering = %v, want [1]", ids)
+	}
+}
+
+func TestPoolNearest(t *testing.T) {
+	p := NewPool(nil)
+	if _, ok := p.Nearest(poolRequest(1, 10, 0, 0, 5)); ok {
+		t.Fatal("Nearest on empty pool")
+	}
+	p.Add(poolWorker(1, 0, 2, 0, 5))
+	p.Add(poolWorker(2, 0, 1, 0, 5))
+	p.Add(poolWorker(3, 0, 3, 0, 5))
+	w, ok := p.Nearest(poolRequest(1, 10, 0, 0, 5))
+	if !ok || w.ID != 2 {
+		t.Fatalf("Nearest = %v, want worker 2", w)
+	}
+}
+
+func TestPoolNearestTieBreaksByID(t *testing.T) {
+	p := NewPool(nil)
+	p.Add(poolWorker(9, 0, 1, 0, 5))
+	p.Add(poolWorker(4, 0, -1, 0, 5))
+	w, ok := p.Nearest(poolRequest(1, 10, 0, 0, 5))
+	if !ok || w.ID != 4 {
+		t.Fatalf("Nearest tie = %d, want 4", w.ID)
+	}
+}
+
+func TestPoolReAddReplaces(t *testing.T) {
+	p := NewPool(nil)
+	p.Add(poolWorker(1, 0, 0, 0, 1))
+	p.Add(poolWorker(1, 0, 10, 10, 1)) // same worker returns elsewhere
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+	if got := p.Covering(poolRequest(1, 5, 0, 0, 2)); len(got) != 0 {
+		t.Error("stale location still covered")
+	}
+	if got := p.Covering(poolRequest(2, 5, 10, 10, 2)); len(got) != 1 {
+		t.Error("new location not covered")
+	}
+}
+
+func TestPoolEach(t *testing.T) {
+	p := NewPool(nil)
+	for i := int64(1); i <= 5; i++ {
+		p.Add(poolWorker(i, 0, float64(i), 0, 1))
+	}
+	count := 0
+	p.Each(func(*core.Worker) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("Each visited %d, want 5", count)
+	}
+	count = 0
+	p.Each(func(*core.Worker) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early-stop Each visited %d, want 2", count)
+	}
+}

@@ -1,0 +1,186 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/pricing"
+)
+
+// RamCOM is the randomized cross online matching algorithm
+// (Algorithm 3). At construction it draws k uniformly from {1..theta},
+// theta = ceil(ln(max(v)+1)), fixing a value threshold e^k. Requests
+// worth more than the threshold are steered to inner workers — a random
+// available one, keeping the analysis's oblivious choice — while
+// smaller requests are left to outer workers, priced at the payment
+// maximizing the expected revenue (value - v') * pr(v', W) of
+// Definition 4.1. When a large-value request finds no free inner worker
+// it also falls through to the cooperative path (the behaviour of the
+// paper's Example 3, where r3 exceeds the threshold but is served by
+// outer worker w3).
+type RamCOM struct {
+	pool      *Pool
+	coop      CoopView
+	rng       *rand.Rand
+	threshold float64
+
+	// ThresholdPricing, when true, replaces the exact expected-revenue
+	// maximization with the 1/e-style randomized threshold quote
+	// (pricing.ThresholdQuote) — the approximation behaviour of the
+	// pricing scheme the paper cites. Used by the ablation study.
+	ThresholdPricing bool
+	// MinPaymentPricing, when true, prices cooperative requests at
+	// DemCOM's minimum outer payment instead of the expected-revenue
+	// maximizer, isolating the incentive mechanism from the value
+	// routing. Used by the ablation study; mutually exclusive with
+	// ThresholdPricing (MinPaymentPricing wins if both are set).
+	MinPaymentPricing bool
+	// MC configures Algorithm 2 when MinPaymentPricing is on.
+	MC pricing.MonteCarlo
+	// NoInnerFallback disables the inner-worker fallback for low-value
+	// requests whose cooperative path fails. Algorithm 3 as printed
+	// rejects such requests outright, which makes RamCOM's revenue
+	// collapse whenever inner workers are plentiful — contradicting the
+	// paper's own Fig. 5(e), where all algorithms converge once |W| is
+	// large ("all the requests can be served by the inner crowd
+	// workers"). The default therefore falls back to an idle inner
+	// worker, mirroring the high-value branch's fallback the paper
+	// demonstrates in Example 3; set NoInnerFallback for the
+	// literal-Algorithm-3 ablation.
+	NoInnerFallback bool
+}
+
+// NewRamCOM builds the matcher. maxValue is the a-priori bound max(v_r)
+// of Algorithm 3 (the paper assumes it known; the workload generators
+// publish it); rng drives the draw of k, the random inner-worker choice
+// and the acceptance probes.
+func NewRamCOM(maxValue float64, coop CoopView, rng *rand.Rand) *RamCOM {
+	if coop == nil {
+		coop = NoCoop{}
+	}
+	theta := int(math.Ceil(math.Log(maxValue + 1)))
+	if theta < 1 {
+		theta = 1
+	}
+	k := 1 + rng.Intn(theta) // k in {1, .., theta}
+	return &RamCOM{
+		pool:      NewPool(nil),
+		coop:      coop,
+		rng:       rng,
+		threshold: math.Exp(float64(k)),
+		MC:        pricing.DefaultMonteCarlo,
+	}
+}
+
+// Name implements Matcher.
+func (m *RamCOM) Name() string { return "RamCOM" }
+
+// Threshold returns the drawn value threshold e^k.
+func (m *RamCOM) Threshold() float64 { return m.threshold }
+
+// WorkerArrives implements Matcher.
+func (m *RamCOM) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
+
+// Pool exposes the inner waiting list.
+func (m *RamCOM) Pool() *Pool { return m.pool }
+
+// RequestArrives implements Matcher (Algorithm 3).
+func (m *RamCOM) RequestArrives(r *core.Request) Decision {
+	if r.Value > m.threshold {
+		// Lines 4-8: random available inner worker.
+		if cands := m.pool.Covering(r); len(cands) > 0 {
+			w := cands[m.rng.Intn(len(cands))]
+			m.pool.Remove(w.ID)
+			return Decision{
+				Served:     true,
+				Assignment: core.Assignment{Request: r, Worker: w},
+			}
+		}
+		// No free inner worker: fall through to the cooperative path
+		// (Example 3's handling of r3).
+	}
+
+	// Lines 9-11: price the cooperative request and run Algorithm 1's
+	// outer-assignment block (lines 13-26).
+	if d, served := m.tryOuter(r); served {
+		return d
+	} else if r.Value > m.threshold {
+		// The high-value branch already found no free inner worker.
+		return d
+	} else if m.NoInnerFallback {
+		return d
+	} else if w, ok := m.pool.Nearest(r); ok {
+		// Inner fallback: an idle inner worker beats rejection.
+		m.pool.Remove(w.ID)
+		return Decision{
+			Served:        true,
+			CoopAttempted: d.CoopAttempted,
+			Assignment:    core.Assignment{Request: r, Worker: w},
+		}
+	} else {
+		return d
+	}
+}
+
+// tryOuter runs the cooperative path; served reports whether the request
+// was assigned.
+func (m *RamCOM) tryOuter(r *core.Request) (Decision, bool) {
+	cands := m.coop.EligibleOuter(r)
+	if len(cands) == 0 {
+		return Decision{}, false
+	}
+	group := make([]*pricing.History, len(cands))
+	for i, c := range cands {
+		group[i] = c.History
+	}
+	payment, ok := m.quote(r, group)
+	if !ok || payment > r.Value {
+		return Decision{CoopAttempted: true}, false
+	}
+
+	accepting := probeAccepting(cands, payment, m.rng)
+	if len(accepting) == 0 {
+		return Decision{CoopAttempted: true}, false
+	}
+	best, claimed := claimNearestAccepting(m.coop, accepting, r)
+	if !claimed {
+		return Decision{CoopAttempted: true}, false
+	}
+	return Decision{
+		Served:        true,
+		CoopAttempted: true,
+		Assignment: core.Assignment{
+			Request: r,
+			Worker:  best.Worker,
+			Payment: payment,
+			Outer:   true,
+		},
+	}, true
+}
+
+// quote computes the outer payment for a cooperative request according
+// to the configured pricing mode. ok=false means "reject" (no payment
+// can yield positive expected revenue).
+func (m *RamCOM) quote(r *core.Request, group []*pricing.History) (float64, bool) {
+	switch {
+	case m.MinPaymentPricing:
+		est, err := m.MC.MinOuterPayment(r.Value, group, m.rng)
+		if err != nil {
+			return 0, false
+		}
+		return est, est > 0
+	case m.ThresholdPricing:
+		q, err := pricing.ThresholdQuote(r.Value, group, 1-m.rng.Float64() /* (0,1] */)
+		if err != nil || q.Payment <= 0 {
+			return 0, false
+		}
+		return q.Payment, true
+	default:
+		q, err := pricing.MaxExpectedRevenue(r.Value, group)
+		if err != nil || q.ExpectedRev <= 0 {
+			return 0, false
+		}
+		return q.Payment, true
+	}
+}

@@ -1,0 +1,96 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+
+	"crossmatch/internal/core"
+)
+
+// TOTAGreedy is the traditional online task assignment baseline [9]: an
+// incoming request is served by the nearest available inner worker whose
+// range covers it, or rejected. It never touches outer workers — the
+// special case W_out = empty of the COM problem.
+type TOTAGreedy struct {
+	pool *Pool
+}
+
+// NewTOTAGreedy returns the baseline matcher over a fresh pool.
+func NewTOTAGreedy() *TOTAGreedy { return &TOTAGreedy{pool: NewPool(nil)} }
+
+// Name implements Matcher.
+func (m *TOTAGreedy) Name() string { return "TOTA" }
+
+// WorkerArrives implements Matcher.
+func (m *TOTAGreedy) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
+
+// Pool exposes the inner waiting list (used by the simulation to share
+// this platform's unoccupied workers with cooperating platforms).
+func (m *TOTAGreedy) Pool() *Pool { return m.pool }
+
+// RequestArrives implements Matcher.
+func (m *TOTAGreedy) RequestArrives(r *core.Request) Decision {
+	w, ok := m.pool.Nearest(r)
+	if !ok {
+		return Decision{}
+	}
+	m.pool.Remove(w.ID)
+	return Decision{
+		Served:     true,
+		Assignment: core.Assignment{Request: r, Worker: w},
+	}
+}
+
+// GreedyRT is the randomized-threshold greedy of [9] (Greedy-RT): it
+// draws k uniformly from {0, .., theta-1} with theta =
+// ceil(ln(Umax+1)), serves only requests whose value exceeds e^k, and
+// assigns them greedily to the nearest available inner worker. Its
+// competitive ratio under the adversarial model is
+// 1/(2e * ceil(ln(Umax+1))); the paper uses it as the revenue-maximizing
+// single-platform reference in the competitive-ratio discussion.
+type GreedyRT struct {
+	pool      *Pool
+	threshold float64
+}
+
+// NewGreedyRT builds the matcher; maxValue is the a-priori bound Umax on
+// request values (as in [9], assumed known), rng drives the draw of k.
+func NewGreedyRT(maxValue float64, rng *rand.Rand) *GreedyRT {
+	theta := int(math.Ceil(math.Log(maxValue + 1)))
+	if theta < 1 {
+		theta = 1
+	}
+	k := rng.Intn(theta) // k in {0, .., theta-1}
+	return &GreedyRT{
+		pool:      NewPool(nil),
+		threshold: math.Exp(float64(k)),
+	}
+}
+
+// Name implements Matcher.
+func (m *GreedyRT) Name() string { return "Greedy-RT" }
+
+// Threshold returns the drawn value threshold e^k.
+func (m *GreedyRT) Threshold() float64 { return m.threshold }
+
+// WorkerArrives implements Matcher.
+func (m *GreedyRT) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
+
+// Pool exposes the inner waiting list.
+func (m *GreedyRT) Pool() *Pool { return m.pool }
+
+// RequestArrives implements Matcher.
+func (m *GreedyRT) RequestArrives(r *core.Request) Decision {
+	if r.Value < m.threshold {
+		return Decision{}
+	}
+	w, ok := m.pool.Nearest(r)
+	if !ok {
+		return Decision{}
+	}
+	m.pool.Remove(w.ID)
+	return Decision{
+		Served:     true,
+		Assignment: core.Assignment{Request: r, Worker: w},
+	}
+}

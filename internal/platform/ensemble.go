@@ -1,0 +1,130 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"crossmatch/internal/core"
+)
+
+// RunEnsemble executes one independent simulation per seed, in parallel,
+// and returns the per-seed results in seed order. gen builds the input
+// stream for a seed (streams must not be shared between runs — matchers
+// mutate nothing in them, but the generator is cheap and isolation keeps
+// every run trivially race-free); base supplies the non-seed
+// configuration. parallelism <= 0 uses GOMAXPROCS.
+//
+// The experiment harness uses it to average the randomized algorithms
+// (RamCOM's threshold draw, DemCOM's sampling) over repeats without
+// paying wall-clock linearly.
+func RunEnsemble(gen func(seed int64) (*core.Stream, error), factory MatcherFactory, base Config, seeds []int64, parallelism int) ([]*Result, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("platform: nil stream generator")
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("platform: no seeds")
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(seeds) {
+		parallelism = len(seeds)
+	}
+
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	next := make(chan int)
+
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				seed := seeds[i]
+				stream, err := gen(seed)
+				if err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+					continue
+				}
+				cfg := base
+				cfg.Seed = seed
+				res, err := Run(stream, factory, cfg)
+				if err != nil {
+					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range seeds {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// EnsembleSummary aggregates an ensemble's headline metrics.
+type EnsembleSummary struct {
+	Runs              int
+	MeanRevenue       float64
+	MeanServed        float64
+	MeanCooperative   float64
+	MeanAcceptance    float64
+	MeanPaymentRate   float64
+	MinRevenue        float64
+	MaxRevenue        float64
+	RevenueStdDevFrac float64 // sample std-dev over mean, 0 for 1 run
+}
+
+// Summarize reduces ensemble results to their means and spread.
+func Summarize(results []*Result) (EnsembleSummary, error) {
+	if len(results) == 0 {
+		return EnsembleSummary{}, fmt.Errorf("platform: empty ensemble")
+	}
+	s := EnsembleSummary{Runs: len(results)}
+	revs := make([]float64, len(results))
+	for i, r := range results {
+		if r == nil {
+			return EnsembleSummary{}, fmt.Errorf("platform: nil result at %d", i)
+		}
+		rev := r.TotalRevenue()
+		revs[i] = rev
+		s.MeanRevenue += rev
+		s.MeanServed += float64(r.TotalServed())
+		s.MeanCooperative += float64(r.CooperativeServed())
+		s.MeanAcceptance += r.AcceptanceRatio()
+		s.MeanPaymentRate += r.MeanPaymentRate()
+		if i == 0 || rev < s.MinRevenue {
+			s.MinRevenue = rev
+		}
+		if rev > s.MaxRevenue {
+			s.MaxRevenue = rev
+		}
+	}
+	n := float64(len(results))
+	s.MeanRevenue /= n
+	s.MeanServed /= n
+	s.MeanCooperative /= n
+	s.MeanAcceptance /= n
+	s.MeanPaymentRate /= n
+	if len(results) > 1 && s.MeanRevenue > 0 {
+		varSum := 0.0
+		for _, rev := range revs {
+			d := rev - s.MeanRevenue
+			varSum += d * d
+		}
+		s.RevenueStdDevFrac = math.Sqrt(varSum/(n-1)) / s.MeanRevenue
+	}
+	return s, nil
+}

@@ -1,0 +1,138 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/workload"
+)
+
+func ensembleGen(t *testing.T) func(int64) (*core.Stream, error) {
+	t.Helper()
+	cfg, err := workload.Synthetic(300, 60, 1.0, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(seed int64) (*core.Stream, error) {
+		return workload.Generate(cfg, seed)
+	}
+}
+
+func TestRunEnsembleMatchesSequential(t *testing.T) {
+	gen := ensembleGen(t)
+	factory := DemCOMFactory(pricing.DefaultMonteCarlo, false)
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+
+	par, err := RunEnsemble(gen, factory, Config{}, seeds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range seeds {
+		stream, err := gen(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Run(stream, factory, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i].TotalRevenue() != seq.TotalRevenue() || par[i].TotalServed() != seq.TotalServed() {
+			t.Errorf("seed %d: parallel (%v, %d) != sequential (%v, %d)",
+				seed, par[i].TotalRevenue(), par[i].TotalServed(), seq.TotalRevenue(), seq.TotalServed())
+		}
+	}
+}
+
+func TestRunEnsembleValidation(t *testing.T) {
+	gen := ensembleGen(t)
+	f := TOTAFactory()
+	if _, err := RunEnsemble(nil, f, Config{}, []int64{1}, 1); err == nil {
+		t.Error("nil generator accepted")
+	}
+	if _, err := RunEnsemble(gen, f, Config{}, nil, 1); err == nil {
+		t.Error("no seeds accepted")
+	}
+	// Generator errors propagate with seed context.
+	bad := func(seed int64) (*core.Stream, error) {
+		if seed == 2 {
+			return nil, errors.New("boom")
+		}
+		return gen(seed)
+	}
+	if _, err := RunEnsemble(bad, f, Config{}, []int64{1, 2, 3}, 2); err == nil {
+		t.Error("generator error swallowed")
+	}
+}
+
+func TestRunEnsembleParallelismClamped(t *testing.T) {
+	gen := ensembleGen(t)
+	// parallelism larger than seed count and non-positive both work.
+	for _, p := range []int{-1, 0, 100} {
+		res, err := RunEnsemble(gen, TOTAFactory(), Config{}, []int64{7, 8}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 2 || res[0] == nil || res[1] == nil {
+			t.Fatalf("parallelism %d: results %v", p, res)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	gen := ensembleGen(t)
+	res, err := RunEnsemble(gen, RamCOMFactory(100, RamCOMOptions{}), Config{}, []int64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Runs != 4 {
+		t.Errorf("Runs = %d", s.Runs)
+	}
+	if s.MinRevenue > s.MeanRevenue || s.MeanRevenue > s.MaxRevenue {
+		t.Errorf("ordering broken: min=%v mean=%v max=%v", s.MinRevenue, s.MeanRevenue, s.MaxRevenue)
+	}
+	if s.RevenueStdDevFrac < 0 || s.RevenueStdDevFrac > 2 {
+		t.Errorf("std-dev fraction implausible: %v", s.RevenueStdDevFrac)
+	}
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := Summarize([]*Result{nil}); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestLatencyReservoirWired(t *testing.T) {
+	gen := ensembleGen(t)
+	stream, err := gen(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(stream, TOTAFactory(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pid, pr := range res.Platforms {
+		if pr.Latency == nil {
+			t.Fatalf("platform %d: nil latency reservoir", pid)
+		}
+		if pr.Latency.Count() != int64(pr.Stats.Requests) {
+			t.Errorf("platform %d: latency count %d != requests %d",
+				pid, pr.Latency.Count(), pr.Stats.Requests)
+		}
+		if pr.Stats.Requests > 0 {
+			if pr.Latency.Max() != pr.ResponseMax {
+				t.Errorf("platform %d: reservoir max %v != recorded max %v",
+					pid, pr.Latency.Max(), pr.ResponseMax)
+			}
+			if pr.Latency.Percentile(0.99) > pr.ResponseMax {
+				t.Errorf("platform %d: p99 above max", pid)
+			}
+		}
+	}
+}

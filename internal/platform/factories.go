@@ -1,0 +1,86 @@
+package platform
+
+import (
+	"math/rand"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/online"
+	"crossmatch/internal/pricing"
+)
+
+// Algorithm names used across the experiment harness and CLIs.
+const (
+	AlgTOTA     = "TOTA"
+	AlgGreedyRT = "Greedy-RT"
+	AlgDemCOM   = "DemCOM"
+	AlgRamCOM   = "RamCOM"
+	AlgOFF      = "OFF"
+)
+
+// TOTAFactory builds the single-platform greedy baseline.
+func TOTAFactory() MatcherFactory {
+	return func(core.PlatformID, online.CoopView, *rand.Rand) online.Matcher {
+		return online.NewTOTAGreedy()
+	}
+}
+
+// GreedyRTFactory builds the randomized-threshold baseline of [9];
+// maxValue is the a-priori value bound Umax.
+func GreedyRTFactory(maxValue float64) MatcherFactory {
+	return func(_ core.PlatformID, _ online.CoopView, rng *rand.Rand) online.Matcher {
+		return online.NewGreedyRT(maxValue, rng)
+	}
+}
+
+// DemCOMFactory builds Algorithm 1 with the given Monte-Carlo
+// configuration; oracle switches on the exact-minimum-payment ablation.
+func DemCOMFactory(mc pricing.MonteCarlo, oracle bool) MatcherFactory {
+	return func(_ core.PlatformID, coop online.CoopView, rng *rand.Rand) online.Matcher {
+		m := online.NewDemCOM(coop, mc, rng)
+		m.PaymentOracle = oracle
+		return m
+	}
+}
+
+// RamCOMOptions selects RamCOM's pricing mode and fallback behaviour
+// for the ablation study.
+type RamCOMOptions struct {
+	// ThresholdPricing switches to the 1/e randomized threshold quote.
+	ThresholdPricing bool
+	// MinPaymentPricing prices cooperative requests like DemCOM does.
+	MinPaymentPricing bool
+	// NoInnerFallback runs Algorithm 3 literally: low-value requests
+	// whose cooperative path fails are rejected even when inner workers
+	// sit idle.
+	NoInnerFallback bool
+}
+
+// RamCOMFactory builds Algorithm 3; maxValue is max(v_r), assumed known.
+func RamCOMFactory(maxValue float64, opts RamCOMOptions) MatcherFactory {
+	return func(_ core.PlatformID, coop online.CoopView, rng *rand.Rand) online.Matcher {
+		m := online.NewRamCOM(maxValue, coop, rng)
+		m.ThresholdPricing = opts.ThresholdPricing
+		m.MinPaymentPricing = opts.MinPaymentPricing
+		m.NoInnerFallback = opts.NoInnerFallback
+		return m
+	}
+}
+
+// FactoryByName returns the factory for a paper algorithm name; stream
+// statistics supply max(v_r) for the threshold algorithms. It returns
+// ok=false for unknown names (including AlgOFF, which is not an online
+// matcher — use Offline).
+func FactoryByName(name string, maxValue float64) (MatcherFactory, bool) {
+	switch name {
+	case AlgTOTA:
+		return TOTAFactory(), true
+	case AlgGreedyRT:
+		return GreedyRTFactory(maxValue), true
+	case AlgDemCOM:
+		return DemCOMFactory(pricing.DefaultMonteCarlo, false), true
+	case AlgRamCOM:
+		return RamCOMFactory(maxValue, RamCOMOptions{}), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,144 @@
+// Package platform assembles the multi-platform simulation of cross
+// online matching: each spatial crowdsourcing platform runs one online
+// matcher over its own request stream and waiting list, while the Hub
+// shares every platform's unoccupied workers with the others
+// (Definition 2.3: cooperative platforms "only share the information of
+// their unoccupied workers"), makes cross-platform claims atomic, and
+// keeps worker acceptance histories.
+//
+// The package also provides the OFF baseline (Offline): the offline
+// optimum computed as a maximum-weight bipartite matching over every
+// feasible worker-request edge, per Section II-B of the paper.
+package platform
+
+import (
+	"fmt"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/online"
+	"crossmatch/internal/pricing"
+)
+
+// Hub is the cooperation layer between platforms. It references each
+// platform's waiting-list pool (owned by that platform's matcher), so an
+// inner assignment made by a matcher is immediately visible to every
+// cooperating platform — and a cooperative claim removes the worker from
+// its owner's waiting list, satisfying the "deleted from all its waiting
+// lists over all platforms" requirement.
+type Hub struct {
+	pools     map[core.PlatformID]*online.Pool
+	owner     map[int64]core.PlatformID
+	histories map[int64]*pricing.History
+	order     []core.PlatformID // registration order, for deterministic scans
+	lent      map[core.PlatformID]int
+	// CoopDisabled turns the hub off: every view returns no outer
+	// workers, degrading COM to TOTA (the W_out = empty ablation).
+	CoopDisabled bool
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{
+		pools:     make(map[core.PlatformID]*online.Pool),
+		owner:     make(map[int64]core.PlatformID),
+		histories: make(map[int64]*pricing.History),
+		lent:      make(map[core.PlatformID]int),
+	}
+}
+
+// RegisterPlatform attaches a platform's waiting-list pool. Must be
+// called once per platform before its workers arrive.
+func (h *Hub) RegisterPlatform(id core.PlatformID, pool *online.Pool) error {
+	if id == core.NoPlatform {
+		return fmt.Errorf("platform: cannot register the zero platform")
+	}
+	if _, dup := h.pools[id]; dup {
+		return fmt.Errorf("platform: platform %d already registered", id)
+	}
+	h.pools[id] = pool
+	h.order = append(h.order, id)
+	return nil
+}
+
+// WorkerArrived records ownership and acceptance history for a worker
+// that just joined its platform's waiting list. The worker's History
+// field is parsed once here; matchers see it through Candidate.
+func (h *Hub) WorkerArrived(w *core.Worker) error {
+	if _, ok := h.pools[w.Platform]; !ok {
+		return fmt.Errorf("platform: worker %d arrived for unregistered platform %d", w.ID, w.Platform)
+	}
+	hist, err := pricing.NewHistory(w.History)
+	if err != nil {
+		return fmt.Errorf("platform: worker %d: %w", w.ID, err)
+	}
+	h.owner[w.ID] = w.Platform
+	h.histories[w.ID] = hist
+	return nil
+}
+
+// HistoryOf returns the acceptance history recorded for a worker.
+func (h *Hub) HistoryOf(workerID int64) (*pricing.History, bool) {
+	hist, ok := h.histories[workerID]
+	return hist, ok
+}
+
+// ViewFor returns the CoopView platform id uses to see the other
+// platforms' unoccupied workers.
+func (h *Hub) ViewFor(id core.PlatformID) online.CoopView {
+	return &hubView{hub: h, self: id}
+}
+
+type hubView struct {
+	hub  *Hub
+	self core.PlatformID
+}
+
+// EligibleOuter implements online.CoopView: unoccupied workers of every
+// other platform satisfying the Definition 2.6 constraints for r.
+func (v *hubView) EligibleOuter(r *core.Request) []online.Candidate {
+	if v.hub.CoopDisabled {
+		return nil
+	}
+	var out []online.Candidate
+	for _, pid := range v.hub.order {
+		if pid == v.self {
+			continue
+		}
+		for _, w := range v.hub.pools[pid].Covering(r) {
+			out = append(out, online.Candidate{Worker: w, History: v.hub.histories[w.ID]})
+		}
+	}
+	return out
+}
+
+// Claim implements online.CoopView: atomically remove the worker from
+// its owner's waiting list.
+func (v *hubView) Claim(workerID int64) bool {
+	if v.hub.CoopDisabled {
+		return false
+	}
+	owner, ok := v.hub.owner[workerID]
+	if !ok || owner == v.self {
+		return false
+	}
+	pool, ok := v.hub.pools[owner]
+	if !ok {
+		return false
+	}
+	if !pool.Remove(workerID) {
+		return false
+	}
+	v.hub.lent[owner]++
+	return true
+}
+
+// Lent returns how many workers each platform has lent out through the
+// hub — the supply side of the cooperation ledger (the demand side is
+// each platform's ServedOuter).
+func (h *Hub) Lent() map[core.PlatformID]int {
+	out := make(map[core.PlatformID]int, len(h.lent))
+	for pid, n := range h.lent {
+		out[pid] = n
+	}
+	return out
+}

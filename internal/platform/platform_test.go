@@ -1,0 +1,354 @@
+package platform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+	"crossmatch/internal/online"
+	"crossmatch/internal/pricing"
+)
+
+func exampleStream(t *testing.T) *core.Stream {
+	t.Helper()
+	s, err := core.ExampleOneStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestHubRegisterAndArrivals(t *testing.T) {
+	h := NewHub()
+	p1 := online.NewPool(nil)
+	if err := h.RegisterPlatform(1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RegisterPlatform(1, p1); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := h.RegisterPlatform(core.NoPlatform, p1); err == nil {
+		t.Error("zero platform accepted")
+	}
+	w := &core.Worker{ID: 1, Arrival: 0, Loc: geo.Point{}, Radius: 1, Platform: 1, History: []float64{2}}
+	if err := h.WorkerArrived(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.HistoryOf(1); !ok {
+		t.Error("history not recorded")
+	}
+	bad := &core.Worker{ID: 2, Arrival: 0, Loc: geo.Point{}, Radius: 1, Platform: 9}
+	if err := h.WorkerArrived(bad); err == nil {
+		t.Error("unregistered platform accepted")
+	}
+	badHist := &core.Worker{ID: 3, Arrival: 0, Loc: geo.Point{}, Radius: 1, Platform: 1, History: []float64{-1}}
+	if err := h.WorkerArrived(badHist); err == nil {
+		t.Error("invalid history accepted")
+	}
+}
+
+func TestHubViewSeesOnlyOtherPlatforms(t *testing.T) {
+	h := NewHub()
+	p1, p2 := online.NewPool(nil), online.NewPool(nil)
+	if err := h.RegisterPlatform(1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RegisterPlatform(2, p2); err != nil {
+		t.Fatal(err)
+	}
+	w1 := &core.Worker{ID: 1, Arrival: 0, Loc: geo.Point{}, Radius: 5, Platform: 1, History: []float64{1}}
+	w2 := &core.Worker{ID: 2, Arrival: 0, Loc: geo.Point{}, Radius: 5, Platform: 2, History: []float64{1}}
+	for _, w := range []*core.Worker{w1, w2} {
+		if err := h.WorkerArrived(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p1.Add(w1)
+	p2.Add(w2)
+
+	r := &core.Request{ID: 1, Arrival: 10, Loc: geo.Point{}, Value: 5, Platform: 1}
+	v1 := h.ViewFor(1)
+	got := v1.EligibleOuter(r)
+	if len(got) != 1 || got[0].Worker.ID != 2 {
+		t.Fatalf("platform 1 sees %d outer workers, want exactly worker 2", len(got))
+	}
+	if got[0].History == nil {
+		t.Error("candidate missing history")
+	}
+}
+
+func TestHubClaimSemantics(t *testing.T) {
+	h := NewHub()
+	p1, p2 := online.NewPool(nil), online.NewPool(nil)
+	_ = h.RegisterPlatform(1, p1)
+	_ = h.RegisterPlatform(2, p2)
+	w2 := &core.Worker{ID: 2, Arrival: 0, Loc: geo.Point{}, Radius: 5, Platform: 2, History: []float64{1}}
+	_ = h.WorkerArrived(w2)
+	p2.Add(w2)
+
+	v1 := h.ViewFor(1)
+	if !v1.Claim(2) {
+		t.Fatal("claim of available outer worker failed")
+	}
+	if v1.Claim(2) {
+		t.Error("double claim succeeded")
+	}
+	if p2.Len() != 0 {
+		t.Error("claim did not remove worker from owner pool")
+	}
+	// A platform cannot "claim" its own workers through the coop view.
+	w1 := &core.Worker{ID: 1, Arrival: 0, Loc: geo.Point{}, Radius: 5, Platform: 1, History: []float64{1}}
+	_ = h.WorkerArrived(w1)
+	p1.Add(w1)
+	if v1.Claim(1) {
+		t.Error("self-claim through coop view succeeded")
+	}
+	if v1.Claim(99) {
+		t.Error("claim of unknown worker succeeded")
+	}
+}
+
+func TestHubCoopDisabled(t *testing.T) {
+	h := NewHub()
+	p1, p2 := online.NewPool(nil), online.NewPool(nil)
+	_ = h.RegisterPlatform(1, p1)
+	_ = h.RegisterPlatform(2, p2)
+	w2 := &core.Worker{ID: 2, Arrival: 0, Loc: geo.Point{}, Radius: 5, Platform: 2, History: []float64{1}}
+	_ = h.WorkerArrived(w2)
+	p2.Add(w2)
+	h.CoopDisabled = true
+	v1 := h.ViewFor(1)
+	r := &core.Request{ID: 1, Arrival: 10, Loc: geo.Point{}, Value: 5, Platform: 1}
+	if len(v1.EligibleOuter(r)) != 0 {
+		t.Error("disabled hub leaked outer workers")
+	}
+	if v1.Claim(2) {
+		t.Error("disabled hub allowed a claim")
+	}
+}
+
+func TestRunTOTAOnExampleOne(t *testing.T) {
+	// Only platform 1 has requests; its TOTA result must equal the
+	// hand-computed 16 (see online tests); platform 2 serves nothing.
+	res, err := Run(exampleStream(t), TOTAFactory(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p1 := res.Platforms[1]
+	if p1 == nil || math.Abs(p1.Stats.Revenue-16) > 1e-9 || p1.Stats.Served != 3 {
+		t.Fatalf("platform 1: %+v", p1)
+	}
+	if p2 := res.Platforms[2]; p2.Stats.Requests != 0 {
+		t.Errorf("platform 2 saw requests: %+v", p2.Stats)
+	}
+	if res.TotalServed() != 3 || math.Abs(res.TotalRevenue()-16) > 1e-9 {
+		t.Errorf("totals: served=%d revenue=%v", res.TotalServed(), res.TotalRevenue())
+	}
+}
+
+func TestRunDemCOMCooperatesAcrossPlatforms(t *testing.T) {
+	// Across seeds, DemCOM must sometimes serve r3/r5 via platform 2's
+	// workers, and whenever it does, total revenue must beat TOTA's 16.
+	coopHappened := false
+	for seed := int64(0); seed < 25; seed++ {
+		res, err := Run(exampleStream(t), DemCOMFactory(pricing.MonteCarlo{Xi: 0.05, Eta: 0.3}, false), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p1 := res.Platforms[1]
+		if p1.Stats.ServedInner != 3 {
+			t.Fatalf("seed %d: inner served = %d, want 3", seed, p1.Stats.ServedInner)
+		}
+		if p1.Stats.ServedOuter > 0 {
+			coopHappened = true
+			if p1.Stats.Revenue <= 16 {
+				t.Errorf("seed %d: revenue %v with cooperation, want > 16", seed, p1.Stats.Revenue)
+			}
+			// Outer assignments must use platform 2 workers.
+			for _, a := range p1.Matching.Assignments() {
+				if a.Outer && a.Worker.Platform != 2 {
+					t.Errorf("outer assignment uses platform %d worker", a.Worker.Platform)
+				}
+			}
+		}
+	}
+	if !coopHappened {
+		t.Error("cooperation never occurred across 25 seeds")
+	}
+}
+
+func TestRunDisableCoopEqualsTOTA(t *testing.T) {
+	dem, err := Run(exampleStream(t), DemCOMFactory(pricing.DefaultMonteCarlo, false), Config{Seed: 9, DisableCoop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tota, err := Run(exampleStream(t), TOTAFactory(), Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dem.TotalRevenue() != tota.TotalRevenue() || dem.TotalServed() != tota.TotalServed() {
+		t.Errorf("DemCOM with coop disabled: rev %v served %d; TOTA: rev %v served %d",
+			dem.TotalRevenue(), dem.TotalServed(), tota.TotalRevenue(), tota.TotalServed())
+	}
+	if dem.CooperativeServed() != 0 {
+		t.Error("cooperative requests served with coop disabled")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := Run(exampleStream(t), RamCOMFactory(9, RamCOMOptions{}), Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(exampleStream(t), RamCOMFactory(9, RamCOMOptions{}), Config{Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRevenue() != b.TotalRevenue() || a.TotalServed() != b.TotalServed() {
+		t.Errorf("same seed diverged: (%v, %d) vs (%v, %d)",
+			a.TotalRevenue(), a.TotalServed(), b.TotalRevenue(), b.TotalServed())
+	}
+}
+
+func TestRunWorkerRecycling(t *testing.T) {
+	// One worker, two sequential requests it covers. Without recycling
+	// only the first is served; with ServiceTicks=1 the worker returns
+	// in time for the second.
+	ws := []*core.Worker{{ID: 1, Arrival: 1, Loc: geo.Point{}, Radius: 2, Platform: 1, History: []float64{1}}}
+	rs := []*core.Request{
+		{ID: 1, Arrival: 2, Loc: geo.Point{X: 0.5}, Value: 5, Platform: 1},
+		{ID: 2, Arrival: 10, Loc: geo.Point{X: 0.6}, Value: 7, Platform: 1},
+	}
+	stream, err := core.NewStream(append(core.WorkerEvents(ws), core.RequestEvents(rs)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(stream, TOTAFactory(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalServed() != 1 {
+		t.Fatalf("without recycling served = %d, want 1", plain.TotalServed())
+	}
+	rec, err := Run(stream, TOTAFactory(), Config{Seed: 1, ServiceTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalServed() != 2 {
+		t.Fatalf("with recycling served = %d, want 2", rec.TotalServed())
+	}
+	if rec.Recycled == 0 {
+		t.Error("recycled counter not incremented")
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOfflineExampleOne(t *testing.T) {
+	// With Example 1's histories (w3 min 1, w5 min 0.5) the joint
+	// offline optimum is 4 + 9 + 6-1 + 3 + 4-0.5 = 24.5 for platform 1
+	// (see example.go), or the equivalent permutation.
+	for _, solver := range []OfflineSolver{SolverHungarian, SolverMCMF, SolverAuto} {
+		res, err := Offline(exampleStream(t), solver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.TotalWeight-24.5) > 1e-9 {
+			t.Errorf("solver %d: OFF total = %v, want 24.5", solver, res.TotalWeight)
+		}
+		if res.TotalServed != 5 {
+			t.Errorf("solver %d: served = %d, want 5", solver, res.TotalServed)
+		}
+		if math.Abs(res.Revenue[1]-24.5) > 1e-9 {
+			t.Errorf("solver %d: platform 1 revenue = %v", solver, res.Revenue[1])
+		}
+		if err := res.Matching.Validate(); err != nil {
+			t.Errorf("solver %d: %v", solver, err)
+		}
+	}
+}
+
+func TestOfflineGreedyNearExact(t *testing.T) {
+	res, err := Offline(exampleStream(t), SolverGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight < 24.5*0.9 {
+		t.Errorf("greedy OFF = %v, want within 10%% of 24.5", res.TotalWeight)
+	}
+}
+
+// OFF dominates every online algorithm on the same stream (it is the
+// upper bound used for competitive ratios).
+func TestOfflineDominatesOnline(t *testing.T) {
+	stream := exampleStream(t)
+	off, err := Offline(stream, SolverHungarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := map[string]MatcherFactory{
+		"TOTA":   TOTAFactory(),
+		"DemCOM": DemCOMFactory(pricing.DefaultMonteCarlo, false),
+		"RamCOM": RamCOMFactory(stream.MaxValue(), RamCOMOptions{}),
+	}
+	for name, f := range factories {
+		for seed := int64(0); seed < 10; seed++ {
+			res, err := Run(stream, f, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalRevenue() > off.TotalWeight+1e-9 {
+				t.Errorf("%s seed %d: online %v exceeds OFF %v", name, seed, res.TotalRevenue(), off.TotalWeight)
+			}
+		}
+	}
+}
+
+func TestFactoryByName(t *testing.T) {
+	for _, name := range []string{AlgTOTA, AlgGreedyRT, AlgDemCOM, AlgRamCOM} {
+		f, ok := FactoryByName(name, 10)
+		if !ok {
+			t.Errorf("FactoryByName(%q) not found", name)
+			continue
+		}
+		m := f(1, online.NoCoop{}, rand.New(rand.NewSource(1)))
+		if m.Name() != name {
+			t.Errorf("factory %q built matcher %q", name, m.Name())
+		}
+	}
+	if _, ok := FactoryByName("nope", 10); ok {
+		t.Error("unknown name accepted")
+	}
+	if _, ok := FactoryByName(AlgOFF, 10); ok {
+		t.Error("OFF is not an online matcher")
+	}
+}
+
+func TestResultAggregates(t *testing.T) {
+	res := &Result{Platforms: map[core.PlatformID]*PlatformResult{
+		1: {Stats: online.Stats{Revenue: 10, Served: 2, ServedOuter: 1, CoopAttempted: 2, PaymentRate: 0.5}},
+		2: {Stats: online.Stats{Revenue: 5, Served: 1, ServedOuter: 1, CoopAttempted: 2, PaymentRate: 0.7}},
+	}}
+	if res.TotalRevenue() != 15 || res.TotalServed() != 3 || res.CooperativeServed() != 2 {
+		t.Errorf("aggregates wrong: %v %d %d", res.TotalRevenue(), res.TotalServed(), res.CooperativeServed())
+	}
+	if got := res.AcceptanceRatio(); got != 0.5 {
+		t.Errorf("AcceptanceRatio = %v, want 0.5", got)
+	}
+	if got := res.MeanPaymentRate(); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("MeanPaymentRate = %v, want 0.6", got)
+	}
+	empty := &Result{Platforms: map[core.PlatformID]*PlatformResult{}}
+	if empty.AcceptanceRatio() != 0 || empty.MeanPaymentRate() != 0 {
+		t.Error("empty result ratios should be 0")
+	}
+}

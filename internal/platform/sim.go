@@ -1,0 +1,254 @@
+package platform
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/online"
+	"crossmatch/internal/stats"
+)
+
+// MatcherFactory builds one platform's online matcher. coop is that
+// platform's window onto the other platforms' unoccupied workers; rng is
+// a platform-private generator derived from the simulation seed.
+type MatcherFactory func(id core.PlatformID, coop online.CoopView, rng *rand.Rand) online.Matcher
+
+// poolHolder is implemented by every matcher in this repository; the
+// simulation uses it to wire the matcher's waiting list into the hub.
+type poolHolder interface{ Pool() *online.Pool }
+
+// Config controls a simulation run.
+type Config struct {
+	// Seed drives every random choice (matcher thresholds, acceptance
+	// probes, Monte-Carlo sampling). Same seed, same stream, same result.
+	Seed int64
+	// ServiceTicks, when positive, recycles workers: a worker who
+	// completes a request re-joins its platform's waiting list
+	// ServiceTicks after the assignment, at the request's location, as
+	// a fresh waiting-list entry with the earned value appended to its
+	// history (the paper's "comes back to the platform again at a new
+	// time point"). Zero keeps the paper's one-shot matching model used
+	// in the evaluation.
+	ServiceTicks core.Time
+	// DisableCoop turns off worker sharing: COM algorithms degrade to
+	// TOTA (the degradation ablation).
+	DisableCoop bool
+}
+
+// PlatformResult aggregates one platform's outcomes.
+type PlatformResult struct {
+	ID       core.PlatformID
+	Name     string // matcher name
+	Stats    online.Stats
+	Matching *core.Matching
+	// ResponseTotal is the summed wall-clock time spent deciding
+	// requests; ResponseMax the slowest single decision.
+	ResponseTotal time.Duration
+	ResponseMax   time.Duration
+	// Latency holds the full decision-latency distribution (mean, max
+	// and sampled percentiles).
+	Latency *stats.Reservoir
+}
+
+// MeanResponse returns the average decision latency per request.
+func (r *PlatformResult) MeanResponse() time.Duration {
+	if r.Stats.Requests == 0 {
+		return 0
+	}
+	return r.ResponseTotal / time.Duration(r.Stats.Requests)
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Platforms map[core.PlatformID]*PlatformResult
+	// Lent counts workers each platform lent to others through the hub.
+	Lent map[core.PlatformID]int
+	// Recycled counts worker re-arrivals (only with ServiceTicks > 0).
+	Recycled int
+}
+
+// TotalRevenue sums revenue across platforms.
+func (r *Result) TotalRevenue() float64 {
+	t := 0.0
+	for _, p := range r.Platforms {
+		t += p.Stats.Revenue
+	}
+	return t
+}
+
+// TotalServed sums served requests across platforms.
+func (r *Result) TotalServed() int {
+	t := 0
+	for _, p := range r.Platforms {
+		t += p.Stats.Served
+	}
+	return t
+}
+
+// CooperativeServed sums accepted cooperative requests (|CoR|).
+func (r *Result) CooperativeServed() int {
+	t := 0
+	for _, p := range r.Platforms {
+		t += p.Stats.ServedOuter
+	}
+	return t
+}
+
+// AcceptanceRatio aggregates AcpRt across platforms.
+func (r *Result) AcceptanceRatio() float64 {
+	att, ok := 0, 0
+	for _, p := range r.Platforms {
+		att += p.Stats.CoopAttempted
+		ok += p.Stats.ServedOuter
+	}
+	if att == 0 {
+		return 0
+	}
+	return float64(ok) / float64(att)
+}
+
+// MeanPaymentRate aggregates the outer payment rate v'/v across
+// platforms' cooperative assignments.
+func (r *Result) MeanPaymentRate() float64 {
+	sum, n := 0.0, 0
+	for _, p := range r.Platforms {
+		sum += p.Stats.PaymentRate
+		n += p.Stats.ServedOuter
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Validate re-checks every platform's matching.
+func (r *Result) Validate() error {
+	for id, p := range r.Platforms {
+		if err := p.Matching.Validate(); err != nil {
+			return fmt.Errorf("platform %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Run executes the stream against one matcher per platform, cooperating
+// through a shared hub. The factory is called once per platform present
+// in the stream.
+func Run(stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
+	hub := NewHub()
+	hub.CoopDisabled = cfg.DisableCoop
+	res := &Result{Platforms: map[core.PlatformID]*PlatformResult{}}
+	matchers := map[core.PlatformID]online.Matcher{}
+
+	root := rand.New(rand.NewSource(cfg.Seed))
+	for _, pid := range stream.Platforms() {
+		rng := rand.New(rand.NewSource(root.Int63()))
+		m := factory(pid, hub.ViewFor(pid), rng)
+		holder, ok := m.(poolHolder)
+		if !ok {
+			return nil, fmt.Errorf("platform: matcher %q does not expose its pool", m.Name())
+		}
+		if err := hub.RegisterPlatform(pid, holder.Pool()); err != nil {
+			return nil, err
+		}
+		matchers[pid] = m
+		res.Platforms[pid] = &PlatformResult{
+			ID: pid, Name: m.Name(), Matching: core.NewMatching(),
+			Latency: stats.NewReservoir(0, cfg.Seed^int64(pid)),
+		}
+	}
+
+	// Pending worker re-arrivals (recycling), ordered by time.
+	var recycle recycleHeap
+	nextRecycledID := maxWorkerID(stream) + 1
+
+	deliverWorker := func(w *core.Worker) error {
+		if err := hub.WorkerArrived(w); err != nil {
+			return err
+		}
+		matchers[w.Platform].WorkerArrives(w)
+		return nil
+	}
+
+	for _, e := range stream.Events() {
+		// Flush recycled workers due before this event.
+		for len(recycle) > 0 && recycle[0].Arrival <= e.Time {
+			w := heap.Pop(&recycle).(*core.Worker)
+			if err := deliverWorker(w); err != nil {
+				return nil, err
+			}
+			res.Recycled++
+		}
+		switch e.Kind {
+		case core.WorkerArrival:
+			if err := deliverWorker(e.Worker); err != nil {
+				return nil, err
+			}
+		case core.RequestArrival:
+			pr := res.Platforms[e.Request.Platform]
+			m := matchers[e.Request.Platform]
+			start := time.Now()
+			d := m.RequestArrives(e.Request)
+			el := time.Since(start)
+			pr.ResponseTotal += el
+			if el > pr.ResponseMax {
+				pr.ResponseMax = el
+			}
+			pr.Latency.Observe(el)
+			pr.Stats.Observe(d)
+			if d.Served {
+				if err := pr.Matching.Add(d.Assignment); err != nil {
+					return nil, fmt.Errorf("platform %d: %w", e.Request.Platform, err)
+				}
+				if cfg.ServiceTicks > 0 {
+					w := d.Assignment.Worker
+					earned := d.Assignment.Request.Value
+					if d.Assignment.Outer {
+						earned = d.Assignment.Payment
+					}
+					reborn := &core.Worker{
+						ID:       nextRecycledID,
+						Arrival:  e.Time + cfg.ServiceTicks,
+						Loc:      d.Assignment.Request.Loc,
+						Radius:   w.Radius,
+						Platform: w.Platform,
+						History:  append(append([]float64(nil), w.History...), earned),
+					}
+					nextRecycledID++
+					heap.Push(&recycle, reborn)
+				}
+			}
+		}
+	}
+	res.Lent = hub.Lent()
+	return res, nil
+}
+
+func maxWorkerID(stream *core.Stream) int64 {
+	var maxID int64
+	for _, w := range stream.Workers() {
+		if w.ID > maxID {
+			maxID = w.ID
+		}
+	}
+	return maxID
+}
+
+type recycleHeap []*core.Worker
+
+func (h recycleHeap) Len() int           { return len(h) }
+func (h recycleHeap) Less(i, j int) bool { return h[i].Arrival < h[j].Arrival }
+func (h recycleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *recycleHeap) Push(x interface{}) {
+	*h = append(*h, x.(*core.Worker))
+}
+func (h *recycleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	*h = old[:n-1]
+	return w
+}

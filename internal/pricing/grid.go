@@ -1,0 +1,102 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+
+	"crossmatch/internal/geo"
+)
+
+// Grid is a spatiotemporal supply/demand pricing signal in the spirit of
+// the matching-based dynamic pricing model of Tong et al. [14]: the city
+// is divided into uniform cells and time into slots; each cell-slot
+// accumulates the number of arriving requests (demand) and workers
+// (supply), and the signal for a location is the recency-decayed
+// demand-to-supply ratio of its cell. RamCOM's ablation uses it to scale
+// outer payments: scarce supply pushes payments toward the full request
+// value, abundant supply toward the acceptance floor.
+type Grid struct {
+	cell   float64 // cell edge, km
+	slot   int64   // ticks per time slot
+	decay  float64 // multiplicative decay applied per elapsed slot
+	counts map[gridKey]*gridCell
+}
+
+type gridKey struct{ cx, cy int32 }
+
+type gridCell struct {
+	demand, supply float64
+	lastSlot       int64
+}
+
+// NewGrid returns a pricing grid with the given cell edge (km), slot
+// length (ticks) and per-slot decay factor in (0, 1].
+func NewGrid(cellKm float64, slotTicks int64, decay float64) (*Grid, error) {
+	if cellKm <= 0 || math.IsNaN(cellKm) || math.IsInf(cellKm, 0) {
+		return nil, fmt.Errorf("pricing: cell size %v must be positive", cellKm)
+	}
+	if slotTicks <= 0 {
+		return nil, fmt.Errorf("pricing: slot length %d must be positive", slotTicks)
+	}
+	if !(decay > 0 && decay <= 1) {
+		return nil, fmt.Errorf("pricing: decay %v outside (0,1]", decay)
+	}
+	return &Grid{cell: cellKm, slot: slotTicks, decay: decay, counts: map[gridKey]*gridCell{}}, nil
+}
+
+func (g *Grid) key(p geo.Point) gridKey {
+	return gridKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
+}
+
+func (g *Grid) cellAt(p geo.Point, tick int64) *gridCell {
+	k := g.key(p)
+	c := g.counts[k]
+	if c == nil {
+		c = &gridCell{lastSlot: tick / g.slot}
+		g.counts[k] = c
+	}
+	g.age(c, tick)
+	return c
+}
+
+// age applies the per-slot decay for slots elapsed since the last touch.
+func (g *Grid) age(c *gridCell, tick int64) {
+	slot := tick / g.slot
+	if slot <= c.lastSlot {
+		return
+	}
+	f := math.Pow(g.decay, float64(slot-c.lastSlot))
+	c.demand *= f
+	c.supply *= f
+	c.lastSlot = slot
+}
+
+// RecordDemand notes a request arrival at p.
+func (g *Grid) RecordDemand(p geo.Point, tick int64) { g.cellAt(p, tick).demand++ }
+
+// RecordSupply notes a worker arrival at p.
+func (g *Grid) RecordSupply(p geo.Point, tick int64) { g.cellAt(p, tick).supply++ }
+
+// Ratio returns the decayed demand:supply ratio at p, with +1 smoothing
+// on both sides so empty cells report 1 (balanced).
+func (g *Grid) Ratio(p geo.Point, tick int64) float64 {
+	c := g.counts[g.key(p)]
+	if c == nil {
+		return 1
+	}
+	g.age(c, tick)
+	return (c.demand + 1) / (c.supply + 1)
+}
+
+// Scale maps the local demand:supply ratio into a payment multiplier in
+// [lo, hi]: balanced markets return the midpoint, demand-heavy cells
+// saturate toward hi (workers are scarce, pay more), supply-heavy cells
+// toward lo. The mapping is ratio/(ratio+1), which is 0.5 at balance.
+func (g *Grid) Scale(p geo.Point, tick int64, lo, hi float64) float64 {
+	r := g.Ratio(p, tick)
+	t := r / (r + 1)
+	return lo + (hi-lo)*t
+}
+
+// Cells returns the number of touched cells (for memory accounting).
+func (g *Grid) Cells() int { return len(g.counts) }

@@ -1,0 +1,146 @@
+// Package pricing implements the incentive-mechanism substrate of cross
+// online matching:
+//
+//   - the worker acceptance model of Definition 3.1 (History),
+//   - the Monte-Carlo minimum outer payment estimator of Algorithm 2
+//     (MinOuterPayment), used by DemCOM,
+//   - the maximum expected revenue pricing of Definition 4.1
+//     (MaxExpectedRevenue), the quantity the paper delegates to the
+//     matching-based dynamic pricing of Tong et al. SIGMOD'18 [14] and
+//     which we compute exactly over the empirical acceptance curve,
+//   - a supply/demand grid pricing signal (Grid in grid.go) in the
+//     spirit of [14]'s spatiotemporal model, used in ablations.
+//
+// All randomized routines take an explicit *rand.Rand so that every
+// simulation in the repository is reproducible from a seed.
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// History is the completed-request value history of a crowd worker,
+// kept sorted ascending. It drives the acceptance probability of
+// Definition 3.1: pr(v', w) = N(v <= v') / N — the fraction of the
+// worker's past completed requests whose value did not exceed the
+// offered payment v'.
+type History struct {
+	values []float64 // sorted ascending
+}
+
+// NewHistory builds a history from completed request values. The input
+// slice is copied and sorted; non-positive and non-finite values are
+// rejected.
+func NewHistory(values []float64) (*History, error) {
+	vs := append([]float64(nil), values...)
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return nil, fmt.Errorf("pricing: history value %d = %v must be positive and finite", i, v)
+		}
+	}
+	sort.Float64s(vs)
+	return &History{values: vs}, nil
+}
+
+// MustHistory is NewHistory for static test fixtures; it panics on error.
+func MustHistory(values []float64) *History {
+	h, err := NewHistory(values)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Len returns the number of completed history requests N.
+func (h *History) Len() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.values)
+}
+
+// AcceptProb returns pr(v', w) per Definition 3.1. A worker with an
+// empty history has never been observed rejecting a price, so the
+// vacuous reading of N(v<=v')/N is used: probability 1 for any positive
+// payment (and 0 otherwise). Workload generators always provide
+// histories; the convention only matters for hand-built inputs.
+func (h *History) AcceptProb(payment float64) float64 {
+	if payment <= 0 {
+		return 0
+	}
+	n := h.Len()
+	if n == 0 {
+		return 1
+	}
+	// Number of values <= payment.
+	k := sort.SearchFloat64s(h.values, math.Nextafter(payment, math.Inf(1)))
+	return float64(k) / float64(n)
+}
+
+// Accepts samples the worker's decision for the offered payment: it
+// draws x uniform in [0,1] and accepts iff x <= pr(payment, w)
+// (Algorithm 1, lines 18-19).
+func (h *History) Accepts(payment float64, rng *rand.Rand) bool {
+	return rng.Float64() <= h.AcceptProb(payment)
+}
+
+// Min returns the smallest history value — the lowest payment the worker
+// has any chance of accepting — or 0 for an empty history.
+func (h *History) Min() float64 {
+	if h.Len() == 0 {
+		return 0
+	}
+	return h.values[0]
+}
+
+// Max returns the largest history value, or 0 for an empty history.
+func (h *History) Max() float64 {
+	if h.Len() == 0 {
+		return 0
+	}
+	return h.values[len(h.values)-1]
+}
+
+// Values returns the sorted history values. The slice is owned by the
+// history and must not be mutated.
+func (h *History) Values() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.values
+}
+
+// Record appends a newly completed request value, keeping order. It is
+// how the simulation closes the loop: an outer worker who served a
+// cooperative request gains a history point that shifts its future
+// acceptance curve.
+func (h *History) Record(value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) || value <= 0 {
+		return fmt.Errorf("pricing: recorded value %v must be positive and finite", value)
+	}
+	i := sort.SearchFloat64s(h.values, value)
+	h.values = append(h.values, 0)
+	copy(h.values[i+1:], h.values[i:])
+	h.values[i] = value
+	return nil
+}
+
+// GroupAcceptProb returns pr(v', W) per Definition 4.1: the probability
+// that at least one worker of the group accepts payment v', assuming
+// independent decisions: 1 - prod_w (1 - pr(v', w)).
+func GroupAcceptProb(payment float64, group []*History) float64 {
+	if payment <= 0 || len(group) == 0 {
+		return 0
+	}
+	noneAccepts := 1.0
+	for _, h := range group {
+		noneAccepts *= 1 - h.AcceptProb(payment)
+		if noneAccepts == 0 {
+			return 1
+		}
+	}
+	return 1 - noneAccepts
+}

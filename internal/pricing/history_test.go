@@ -1,0 +1,211 @@
+package pricing
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistoryValidation(t *testing.T) {
+	if _, err := NewHistory([]float64{1, 2, 3}); err != nil {
+		t.Fatalf("valid history rejected: %v", err)
+	}
+	for _, bad := range [][]float64{
+		{0}, {-1}, {math.NaN()}, {math.Inf(1)}, {1, 2, -0.5},
+	} {
+		if _, err := NewHistory(bad); err == nil {
+			t.Errorf("history %v accepted", bad)
+		}
+	}
+}
+
+func TestNewHistorySortsAndCopies(t *testing.T) {
+	in := []float64{3, 1, 2}
+	h := MustHistory(in)
+	if !sort.Float64sAreSorted(h.Values()) {
+		t.Error("values not sorted")
+	}
+	in[0] = 99 // mutating input must not affect history
+	if h.Values()[2] != 3 {
+		t.Error("history aliases caller slice")
+	}
+}
+
+func TestAcceptProbDefinition31(t *testing.T) {
+	// N = 4 history values 2, 4, 4, 8.
+	h := MustHistory([]float64{2, 4, 4, 8})
+	tests := []struct {
+		payment float64
+		want    float64
+	}{
+		{0, 0},    // non-positive payment never accepted
+		{-1, 0},   // ditto
+		{1, 0},    // below all history
+		{2, 0.25}, // N(v<=2)=1
+		{3, 0.25}, // still 1
+		{4, 0.75}, // 3 of 4
+		{7.99, 0.75},
+		{8, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := h.AcceptProb(tt.payment); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("AcceptProb(%v) = %v, want %v", tt.payment, got, tt.want)
+		}
+	}
+}
+
+func TestAcceptProbEmptyHistoryConvention(t *testing.T) {
+	h := MustHistory(nil)
+	if got := h.AcceptProb(1); got != 1 {
+		t.Errorf("empty history AcceptProb(1) = %v, want 1", got)
+	}
+	if got := h.AcceptProb(0); got != 0 {
+		t.Errorf("empty history AcceptProb(0) = %v, want 0", got)
+	}
+	var nilH *History
+	if nilH.Len() != 0 {
+		t.Error("nil history Len != 0")
+	}
+}
+
+// Property: AcceptProb is monotone non-decreasing in the payment and
+// bounded in [0,1].
+func TestAcceptProbMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var vals []float64
+		for _, v := range raw {
+			v = math.Abs(math.Mod(v, 50)) + 0.1
+			vals = append(vals, v)
+		}
+		h := MustHistory(vals)
+		pa := math.Abs(math.Mod(a, 60))
+		pb := math.Abs(math.Mod(b, 60))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		qa, qb := h.AcceptProb(pa), h.AcceptProb(pb)
+		return qa >= 0 && qb <= 1 && qa <= qb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryMinMax(t *testing.T) {
+	h := MustHistory([]float64{5, 1, 9})
+	if h.Min() != 1 || h.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	e := MustHistory(nil)
+	if e.Min() != 0 || e.Max() != 0 {
+		t.Error("empty history Min/Max should be 0")
+	}
+}
+
+func TestHistoryRecord(t *testing.T) {
+	h := MustHistory([]float64{2, 6})
+	if err := h.Record(4); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6}
+	for i, v := range h.Values() {
+		if v != want[i] {
+			t.Fatalf("Values = %v, want %v", h.Values(), want)
+		}
+	}
+	if err := h.Record(-1); err == nil {
+		t.Error("negative value recorded")
+	}
+	if err := h.Record(math.NaN()); err == nil {
+		t.Error("NaN recorded")
+	}
+	// Record at the extremes.
+	if err := h.Record(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Record(10); err != nil {
+		t.Fatal(err)
+	}
+	if h.Min() != 1 || h.Max() != 10 {
+		t.Errorf("after records Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if !sort.Float64sAreSorted(h.Values()) {
+		t.Error("not sorted after Record")
+	}
+}
+
+func TestAcceptsSamplingFrequency(t *testing.T) {
+	// With acceptance probability 0.75, the empirical acceptance rate
+	// over many samples must concentrate near 0.75.
+	h := MustHistory([]float64{1, 2, 3, 10})
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if h.Accepts(5, rng) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("empirical acceptance = %v, want ~0.75", got)
+	}
+}
+
+func TestGroupAcceptProb(t *testing.T) {
+	a := MustHistory([]float64{2, 4})  // pr(3) = 0.5
+	b := MustHistory([]float64{1})     // pr(3) = 1
+	c := MustHistory([]float64{8, 10}) // pr(3) = 0
+	tests := []struct {
+		name    string
+		group   []*History
+		payment float64
+		want    float64
+	}{
+		{"empty group", nil, 3, 0},
+		{"single half", []*History{a}, 3, 0.5},
+		{"certain member", []*History{a, b}, 3, 1},
+		{"two halves", []*History{a, a}, 3, 0.75},
+		{"zero member ignored", []*History{a, c}, 3, 0.5},
+		{"all zero", []*History{c}, 3, 0},
+		{"non-positive payment", []*History{a, b}, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := GroupAcceptProb(tt.payment, tt.group); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("GroupAcceptProb = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: group acceptance dominates each member's and is monotone in
+// group extension.
+func TestGroupAcceptProbDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var group []*History
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			var vals []float64
+			for j := 0; j <= rng.Intn(6); j++ {
+				vals = append(vals, 0.5+rng.Float64()*10)
+			}
+			group = append(group, MustHistory(vals))
+		}
+		pay := rng.Float64() * 12
+		gp := GroupAcceptProb(pay, group)
+		for _, h := range group {
+			if h.AcceptProb(pay) > gp+1e-12 {
+				t.Fatalf("member prob exceeds group prob")
+			}
+		}
+		bigger := GroupAcceptProb(pay, append(group, MustHistory([]float64{0.1})))
+		if bigger < gp-1e-12 {
+			t.Fatalf("extending group decreased probability")
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package roadnet
+
+import (
+	"crossmatch/internal/core"
+)
+
+// Coverage replaces the Euclidean range constraint of Definition 2.6
+// with road-network distance: worker w can serve request r iff the
+// shortest road path from w's location to r's is at most w's radius.
+// Because road distance is at least Euclidean distance, Coverage only
+// prunes candidates the circle-based spatial index already returned —
+// plug it into online.Pool.RangeFilter and the index prefilter stays a
+// correct superset.
+//
+// The filter caches one distance field per request: the event loop asks
+// about many workers for the same incoming request (the platform's own
+// pool plus every cooperating platform's pool through the hub), and all
+// of those probes share a single bounded Dijkstra from the request
+// location.
+type Coverage struct {
+	net *Network
+	// maxRadius bounds the Dijkstra: no worker can serve beyond it.
+	maxRadius float64
+
+	lastRequest int64
+	field       *DistField
+	fieldCount  int
+}
+
+// NewCoverage builds a road-distance range filter. maxRadius must be at
+// least the largest worker service radius in the simulation.
+func NewCoverage(net *Network, maxRadius float64) *Coverage {
+	return &Coverage{net: net, maxRadius: maxRadius, lastRequest: -1}
+}
+
+// Covers reports whether the worker reaches the request within its
+// radius by road. It implements online.RangeFilter.
+func (c *Coverage) Covers(w *core.Worker, r *core.Request) bool {
+	if c.lastRequest != r.ID || c.field == nil {
+		c.field = c.net.Within(r.Loc, c.maxRadius)
+		c.lastRequest = r.ID
+		c.fieldCount++
+	}
+	d, ok := c.field.DistTo(w.Loc)
+	return ok && d <= w.Radius
+}
+
+// Fields returns how many distance fields were computed (one per
+// distinct request probed); used by tests and benchmarks to confirm the
+// per-request caching works.
+func (c *Coverage) Fields() int { return c.fieldCount }

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Reservoir captures a latency distribution with bounded memory: exact
+// count, sum and max, plus a fixed-size uniform sample for percentile
+// estimation (Vitter's algorithm R). The paper reports mean response
+// times; percentiles are what a production platform actually alerts on,
+// and the tail is where DemCOM's Monte-Carlo pricing shows up.
+type Reservoir struct {
+	capacity int
+	rng      *rand.Rand
+	sample   []time.Duration
+	count    int64
+	sum      time.Duration
+	max      time.Duration
+}
+
+// DefaultReservoirSize balances accuracy (~1% percentile error) against
+// the per-platform footprint.
+const DefaultReservoirSize = 4096
+
+// NewReservoir returns a reservoir of the given capacity (default
+// DefaultReservoirSize for non-positive values), seeded for determinism.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		capacity = DefaultReservoirSize
+	}
+	return &Reservoir{
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Observe folds one latency into the reservoir.
+func (r *Reservoir) Observe(d time.Duration) {
+	r.count++
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.sample) < r.capacity {
+		r.sample = append(r.sample, d)
+		return
+	}
+	if k := r.rng.Int63n(r.count); k < int64(r.capacity) {
+		r.sample[k] = d
+	}
+}
+
+// Count returns the number of observations.
+func (r *Reservoir) Count() int64 { return r.count }
+
+// Sum returns the exact total of all observations.
+func (r *Reservoir) Sum() time.Duration { return r.sum }
+
+// Max returns the exact maximum observation.
+func (r *Reservoir) Max() time.Duration { return r.max }
+
+// Mean returns the exact mean, or 0 with no observations.
+func (r *Reservoir) Mean() time.Duration {
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(r.count)
+}
+
+// Percentile estimates the q-quantile (q in [0, 1]) from the sample
+// using nearest-rank on the sorted sample; 0 with no observations.
+func (r *Reservoir) Percentile(q float64) time.Duration {
+	if len(r.sample) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]time.Duration(nil), r.sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Merge folds another reservoir's exact aggregates and sample into r
+// (sample merging is approximate: donors are re-observed with their
+// original weight approximated by uniform thinning).
+func (r *Reservoir) Merge(o *Reservoir) {
+	if o == nil {
+		return
+	}
+	r.count += o.count
+	r.sum += o.sum
+	if o.max > r.max {
+		r.max = o.max
+	}
+	for _, d := range o.sample {
+		if len(r.sample) < r.capacity {
+			r.sample = append(r.sample, d)
+		} else if k := r.rng.Int63n(int64(len(r.sample) * 2)); k < int64(r.capacity) {
+			r.sample[k%int64(r.capacity)] = d
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReservoirExactAggregates(t *testing.T) {
+	r := NewReservoir(8, 1)
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 || r.Percentile(0.5) != 0 {
+		t.Fatal("empty reservoir not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 100 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if r.Max() != 100*time.Millisecond {
+		t.Errorf("Max = %v", r.Max())
+	}
+	wantSum := time.Duration(100*101/2) * time.Millisecond
+	if r.Sum() != wantSum {
+		t.Errorf("Sum = %v, want %v", r.Sum(), wantSum)
+	}
+	if r.Mean() != wantSum/100 {
+		t.Errorf("Mean = %v", r.Mean())
+	}
+}
+
+func TestReservoirPercentilesFullSample(t *testing.T) {
+	// Capacity above the observation count: percentiles are exact.
+	r := NewReservoir(1000, 1)
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if p := r.Percentile(0.5); p != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", p)
+	}
+	if p := r.Percentile(0.95); p != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", p)
+	}
+	if p := r.Percentile(1.0); p != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", p)
+	}
+	if p := r.Percentile(0); p != 1*time.Millisecond {
+		t.Errorf("p0 = %v, want 1ms", p)
+	}
+	// Out-of-range quantiles clamp.
+	if r.Percentile(-1) != r.Percentile(0) || r.Percentile(2) != r.Percentile(1) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestReservoirSamplingApproximation(t *testing.T) {
+	// 50k uniform observations through a 4k reservoir: p50 within 5%.
+	r := NewReservoir(4096, 7)
+	for i := 1; i <= 50000; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := float64(r.Percentile(0.5)) / float64(time.Microsecond)
+	if p50 < 22500 || p50 > 27500 {
+		t.Errorf("sampled p50 = %v, want ~25000", p50)
+	}
+	p95 := float64(r.Percentile(0.95)) / float64(time.Microsecond)
+	if p95 < 45000 || p95 > 50000 {
+		t.Errorf("sampled p95 = %v, want ~47500", p95)
+	}
+}
+
+func TestReservoirMerge(t *testing.T) {
+	a := NewReservoir(100, 1)
+	b := NewReservoir(100, 2)
+	for i := 1; i <= 50; i++ {
+		a.Observe(time.Duration(i) * time.Millisecond)
+		b.Observe(time.Duration(i+50) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 100 {
+		t.Errorf("merged Count = %d", a.Count())
+	}
+	if a.Max() != 100*time.Millisecond {
+		t.Errorf("merged Max = %v", a.Max())
+	}
+	wantSum := time.Duration(100*101/2) * time.Millisecond
+	if a.Sum() != wantSum {
+		t.Errorf("merged Sum = %v", a.Sum())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 100 {
+		t.Error("nil merge changed count")
+	}
+}
+
+func TestReservoirDefaultCapacity(t *testing.T) {
+	r := NewReservoir(0, 1)
+	for i := 0; i < DefaultReservoirSize+10; i++ {
+		r.Observe(time.Millisecond)
+	}
+	if len(r.sample) != DefaultReservoirSize {
+		t.Errorf("sample size = %d, want %d", len(r.sample), DefaultReservoirSize)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotGlyphs assigns one mark per line, in insertion order.
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series as an ASCII line chart — enough to eyeball the
+// Fig. 5 shapes (who is on top, where curves bend) straight from a
+// terminal. Width and height are the plot-area dimensions in characters
+// (sane defaults for non-positive values). Lines are drawn as their
+// glyph at each x column, with linear interpolation between x ticks.
+func (s *Series) Plot(w io.Writer, width, height int) error {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if len(s.X) == 0 || len(s.order) == 0 {
+		_, err := fmt.Fprintf(w, "%s — %s: no data\n", s.Title, s.YLabel)
+		return err
+	}
+
+	// Y range over all measured points.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, name := range s.order {
+		for i := range s.X {
+			if y, ok := s.Get(name, i); ok {
+				minY = math.Min(minY, y)
+				maxY = math.Max(maxY, y)
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		_, err := fmt.Fprintf(w, "%s — %s: no measured points\n", s.Title, s.YLabel)
+		return err
+	}
+	if maxY == minY {
+		maxY = minY + 1 // flat series still renders
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(y float64) int {
+		frac := (y - minY) / (maxY - minY)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	col := func(i int) int {
+		if len(s.X) == 1 {
+			return 0
+		}
+		return i * (width - 1) / (len(s.X) - 1)
+	}
+
+	for li, name := range s.order {
+		glyph := plotGlyphs[li%len(plotGlyphs)]
+		prevC, prevR := -1, -1
+		for i := range s.X {
+			y, ok := s.Get(name, i)
+			if !ok {
+				prevC = -1
+				continue
+			}
+			c, r := col(i), row(y)
+			if prevC >= 0 {
+				// Interpolate between ticks so trends read as lines.
+				for cc := prevC + 1; cc < c; cc++ {
+					t := float64(cc-prevC) / float64(c-prevC)
+					rr := int(math.Round(float64(prevR) + t*float64(r-prevR)))
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[r][c] = glyph
+			prevC, prevR = c, r
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", s.Title, s.YLabel); err != nil {
+		return err
+	}
+	yTop := FormatFloat(maxY, 1)
+	yBot := FormatFloat(minY, 1)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(yTop, labelW)
+		case height - 1:
+			label = pad(yBot, labelW)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	// X axis: first and last tick.
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), axis); err != nil {
+		return err
+	}
+	xLine := s.X[0]
+	if len(s.X) > 1 {
+		gap := width - len(s.X[0]) - len(s.X[len(s.X)-1])
+		if gap < 1 {
+			gap = 1
+		}
+		xLine = s.X[0] + strings.Repeat(" ", gap) + s.X[len(s.X)-1]
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s   (%s)\n", strings.Repeat(" ", labelW), xLine, s.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for li, name := range s.order {
+		legend = append(legend, fmt.Sprintf("%c %s", plotGlyphs[li%len(plotGlyphs)], name))
+	}
+	_, err := fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "   "))
+	return err
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	s := NewSeries("Fig 5(a)", "|R|", "Revenue", []string{"500", "1000", "2500"})
+	s.Set("TOTA", 0, 10)
+	s.Set("TOTA", 1, 20)
+	s.Set("TOTA", 2, 30)
+	s.Set("RamCOM", 0, 12)
+	s.Set("RamCOM", 1, 28)
+	s.Set("RamCOM", 2, 45)
+	var buf bytes.Buffer
+	if err := s.Plot(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 5(a)", "Revenue", "* TOTA", "o RamCOM", "500", "2500", "45.0", "10.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The top row must contain RamCOM's glyph (it has the max).
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "o") {
+		t.Errorf("top row missing max glyph:\n%s", out)
+	}
+}
+
+func TestPlotEmptyAndFlat(t *testing.T) {
+	empty := NewSeries("E", "x", "y", nil)
+	var buf bytes.Buffer
+	if err := empty.Plot(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty plot output: %q", buf.String())
+	}
+
+	unmeasured := NewSeries("U", "x", "y", []string{"1", "2"})
+	unmeasured.Set("A", 0, 5)
+	unmeasured.lines["A"][0] = -1 // force all points unmeasured
+	buf.Reset()
+	if err := unmeasured.Plot(&buf, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no measured points") {
+		t.Errorf("unmeasured plot output: %q", buf.String())
+	}
+
+	flat := NewSeries("F", "x", "y", []string{"1", "2"})
+	flat.Set("A", 0, 7)
+	flat.Set("A", 1, 7)
+	buf.Reset()
+	if err := flat.Plot(&buf, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Errorf("flat plot missing glyph:\n%s", buf.String())
+	}
+}
+
+func TestPlotGapsInterpolateOnlyWithinRuns(t *testing.T) {
+	s := NewSeries("G", "x", "y", []string{"1", "2", "3"})
+	s.Set("A", 0, 1)
+	// index 1 left unset -> gap
+	s.Set("A", 2, 3)
+	var buf bytes.Buffer
+	if err := s.Plot(&buf, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Two endpoint glyphs in the grid plus one in the legend; the gap
+	// must not be bridged by interpolation dots.
+	if got := strings.Count(buf.String(), "*"); got != 3 {
+		t.Errorf("glyph count = %d, want 3 (2 points + legend):\n%s", got, buf.String())
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			if strings.Contains(line[i:], ".") {
+				t.Errorf("gap was interpolated:\n%s", buf.String())
+				break
+			}
+		}
+	}
+}
+
+func TestPlotSingleTick(t *testing.T) {
+	s := NewSeries("S", "x", "y", []string{"only"})
+	s.Set("A", 0, 4)
+	var buf bytes.Buffer
+	if err := s.Plot(&buf, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Errorf("single-tick plot:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"crossmatch/internal/core"
+)
+
+// ArrivalModel draws arrival ticks over a horizon. The default (nil in
+// PlatformSpec) is uniform, matching the paper's randomized arrival
+// orders; RushHour adds the bimodal intensity of real taxi days, which
+// stresses the algorithms with supply/demand phase shifts.
+type ArrivalModel interface {
+	Sample(rng *rand.Rand, horizon core.Time) core.Time
+}
+
+// UniformArrivals spreads arrivals uniformly over the horizon.
+type UniformArrivals struct{}
+
+// Sample implements ArrivalModel.
+func (UniformArrivals) Sample(rng *rand.Rand, horizon core.Time) core.Time {
+	return core.Time(rng.Int63n(int64(horizon)))
+}
+
+// RushHour is a mixture of Gaussian peaks over the horizon plus a
+// uniform background — the classic morning/evening commute shape.
+type RushHour struct {
+	// Peaks are peak centers as fractions of the horizon in (0, 1).
+	Peaks []float64
+	// Sigma is each peak's standard deviation as a fraction of the
+	// horizon (default 0.06 — roughly a 90-minute rush on a day).
+	Sigma float64
+	// Background is the probability mass of off-peak arrivals in [0, 1)
+	// (default 0.3).
+	Background float64
+}
+
+// NewRushHour validates and returns the model; with no peaks it uses the
+// canonical two (0.35 and 0.75 of the horizon — morning and evening).
+func NewRushHour(peaks []float64, sigma, background float64) (*RushHour, error) {
+	if len(peaks) == 0 {
+		peaks = []float64{0.35, 0.75}
+	}
+	for _, p := range peaks {
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("workload: rush-hour peak %v outside (0,1)", p)
+		}
+	}
+	if sigma == 0 {
+		sigma = 0.06
+	}
+	if sigma <= 0 || sigma > 0.5 {
+		return nil, fmt.Errorf("workload: rush-hour sigma %v outside (0, 0.5]", sigma)
+	}
+	if background == 0 {
+		background = 0.3
+	}
+	if background < 0 || background >= 1 {
+		return nil, fmt.Errorf("workload: rush-hour background %v outside [0,1)", background)
+	}
+	return &RushHour{Peaks: peaks, Sigma: sigma, Background: background}, nil
+}
+
+// Sample implements ArrivalModel.
+func (m *RushHour) Sample(rng *rand.Rand, horizon core.Time) core.Time {
+	h := float64(horizon)
+	if rng.Float64() < m.Background {
+		return core.Time(rng.Int63n(int64(horizon)))
+	}
+	peak := m.Peaks[rng.Intn(len(m.Peaks))]
+	t := (peak + rng.NormFloat64()*m.Sigma) * h
+	// Reflect out-of-range draws back into the day rather than clamping
+	// (clamping would pile mass onto the exact endpoints).
+	for t < 0 || t >= h {
+		if t < 0 {
+			t = -t
+		} else {
+			t = 2*h - t - 1
+		}
+	}
+	return core.Time(t)
+}

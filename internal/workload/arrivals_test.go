@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossmatch/internal/core"
+)
+
+func TestUniformArrivalsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		tick := UniformArrivals{}.Sample(rng, 500)
+		if tick < 0 || tick >= 500 {
+			t.Fatalf("tick %d outside [0, 500)", tick)
+		}
+	}
+}
+
+func TestNewRushHourValidation(t *testing.T) {
+	if _, err := NewRushHour(nil, 0, 0); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		peaks      []float64
+		sigma, bkg float64
+	}{
+		{[]float64{0}, 0.06, 0.3},
+		{[]float64{1}, 0.06, 0.3},
+		{[]float64{0.5}, -0.1, 0.3},
+		{[]float64{0.5}, 0.9, 0.3},
+		{[]float64{0.5}, 0.06, 1.0},
+		{[]float64{0.5}, 0.06, -0.2},
+	}
+	for i, c := range cases {
+		if _, err := NewRushHour(c.peaks, c.sigma, c.bkg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRushHourConcentratesAtPeaks(t *testing.T) {
+	m, err := NewRushHour([]float64{0.5}, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const horizon = core.Time(10000)
+	const n = 20000
+	nearPeak := 0
+	for i := 0; i < n; i++ {
+		tick := m.Sample(rng, horizon)
+		if tick < 0 || tick >= horizon {
+			t.Fatalf("tick %d outside horizon", tick)
+		}
+		if tick > 3500 && tick < 6500 { // within 3 sigma of the peak
+			nearPeak++
+		}
+	}
+	// 90% peak mass (within ~3 sigma) + ~30% of the 10% background.
+	if frac := float64(nearPeak) / n; frac < 0.8 {
+		t.Errorf("peak concentration = %v, want > 0.8", frac)
+	}
+}
+
+func TestRushHourReflectionKeepsRange(t *testing.T) {
+	// A peak at the very edge with a wide sigma exercises reflection.
+	m, err := NewRushHour([]float64{0.02}, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		tick := m.Sample(rng, 1000)
+		if tick < 0 || tick >= 1000 {
+			t.Fatalf("reflected tick %d outside [0, 1000)", tick)
+		}
+	}
+}
+
+func TestGenerateWithRushHour(t *testing.T) {
+	rush, err := NewRushHour(nil, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Synthetic(600, 120, 1.0, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Platforms {
+		cfg.Platforms[i].Arrivals = rush
+	}
+	s, err := Generate(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stream is valid and bimodal: the middle lull (45%-65% of the
+	// horizon, between the default peaks) holds less mass than the
+	// morning peak window of the same width.
+	horizon := s.Events()[s.Len()-1].Time
+	window := func(lo, hi float64) int {
+		n := 0
+		for _, e := range s.Events() {
+			f := float64(e.Time) / float64(horizon)
+			if f >= lo && f < hi {
+				n++
+			}
+		}
+		return n
+	}
+	peak := window(0.25, 0.45)
+	lull := window(0.45, 0.65)
+	if peak <= lull {
+		t.Errorf("morning peak %d not above midday lull %d", peak, lull)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+)
+
+// densityRamp maps occupancy to glyphs, light to dense.
+const densityRamp = " .:-=+*#%@"
+
+// WriteDensityMap renders each platform's request and worker densities
+// as side-by-side ASCII heat maps — the quickest way to see the Fig. 2
+// market geography (and to sanity-check a generated city) from a
+// terminal. cols/rows size each map (defaults 36x18 for non-positive
+// values).
+func WriteDensityMap(w io.Writer, s *core.Stream, cols, rows int) error {
+	if cols <= 0 {
+		cols = 36
+	}
+	if rows <= 0 {
+		rows = 18
+	}
+	if s.Len() == 0 {
+		_, err := fmt.Fprintln(w, "empty stream")
+		return err
+	}
+
+	// Bounding box over every location.
+	var box geo.Rect
+	first := true
+	visit := func(p geo.Point) {
+		if first {
+			box = geo.Rect{Min: p, Max: p}
+			first = false
+			return
+		}
+		box = geo.NewRect(
+			geo.Point{X: min(box.Min.X, p.X), Y: min(box.Min.Y, p.Y)},
+			geo.Point{X: max(box.Max.X, p.X), Y: max(box.Max.Y, p.Y)},
+		)
+	}
+	for _, r := range s.Requests() {
+		visit(r.Loc)
+	}
+	for _, wk := range s.Workers() {
+		visit(wk.Loc)
+	}
+	if box.Width() == 0 {
+		box.Max.X = box.Min.X + 1
+	}
+	if box.Height() == 0 {
+		box.Max.Y = box.Min.Y + 1
+	}
+
+	cell := func(p geo.Point) (int, int) {
+		cx := int(float64(cols) * (p.X - box.Min.X) / box.Width())
+		cy := int(float64(rows) * (p.Y - box.Min.Y) / box.Height())
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		return cx, rows - 1 - cy // north up
+	}
+
+	for _, pid := range s.Platforms() {
+		reqGrid := make([][]int, rows)
+		wrkGrid := make([][]int, rows)
+		for i := range reqGrid {
+			reqGrid[i] = make([]int, cols)
+			wrkGrid[i] = make([]int, cols)
+		}
+		maxCount := 0
+		for _, r := range s.Requests() {
+			if r.Platform != pid {
+				continue
+			}
+			cx, cy := cell(r.Loc)
+			reqGrid[cy][cx]++
+			if reqGrid[cy][cx] > maxCount {
+				maxCount = reqGrid[cy][cx]
+			}
+		}
+		for _, wk := range s.Workers() {
+			if wk.Platform != pid {
+				continue
+			}
+			cx, cy := cell(wk.Loc)
+			wrkGrid[cy][cx]++
+			if wrkGrid[cy][cx] > maxCount {
+				maxCount = wrkGrid[cy][cx]
+			}
+		}
+		if maxCount == 0 {
+			maxCount = 1
+		}
+		glyph := func(n int) byte {
+			if n == 0 {
+				return densityRamp[0]
+			}
+			idx := 1 + (len(densityRamp)-2)*n/maxCount
+			if idx >= len(densityRamp) {
+				idx = len(densityRamp) - 1
+			}
+			return densityRamp[idx]
+		}
+		if _, err := fmt.Fprintf(w, "platform %d   %-*s  %s\n", pid, cols, "requests", "workers"); err != nil {
+			return err
+		}
+		for row := 0; row < rows; row++ {
+			var a, b strings.Builder
+			for col := 0; col < cols; col++ {
+				a.WriteByte(glyph(reqGrid[row][col]))
+				b.WriteByte(glyph(wrkGrid[row][col]))
+			}
+			if _, err := fmt.Fprintf(w, "  |%s|  |%s|\n", a.String(), b.String()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+)
+
+func TestWriteDensityMapEmpty(t *testing.T) {
+	s, err := core.NewStream(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDensityMap(&buf, s, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty stream") {
+		t.Errorf("empty output: %q", buf.String())
+	}
+}
+
+func TestWriteDensityMapShape(t *testing.T) {
+	// A dense cluster of requests in the south-west corner and a single
+	// worker in the north-east: the densest request glyph must appear in
+	// the bottom-left of the request grid.
+	var workers []*core.Worker
+	var requests []*core.Request
+	for i := 0; i < 50; i++ {
+		requests = append(requests, &core.Request{
+			ID: int64(i + 1), Arrival: 1,
+			Loc: geo.Point{X: 0.1, Y: 0.1}, Value: 5, Platform: 1,
+		})
+	}
+	workers = append(workers, &core.Worker{
+		ID: 1, Arrival: 0, Loc: geo.Point{X: 9.9, Y: 9.9}, Radius: 1, Platform: 1,
+	})
+	s, err := core.NewStream(append(core.WorkerEvents(workers), core.RequestEvents(requests)...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDensityMap(&buf, s, 10, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // header + 6 grid rows (trailing blank trimmed)
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Hottest request cell '@' in the last grid row, first column region.
+	bottom := lines[6]
+	if !strings.Contains(bottom[:13], "@") {
+		t.Errorf("dense request corner missing in bottom-left:\n%s", out)
+	}
+	// Worker glyph in the top row of the second (worker) grid.
+	top := lines[1]
+	half := strings.LastIndex(top, "|  |")
+	if half < 0 || !strings.ContainsAny(top[half:], "@#%*+=-:.") {
+		t.Errorf("worker missing from top of worker grid:\n%s", out)
+	}
+}
+
+func TestWriteDensityMapMultiPlatform(t *testing.T) {
+	cfg, err := Synthetic(200, 40, 1.0, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDensityMap(&buf, s, 20, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "platform 1") || !strings.Contains(out, "platform 2") {
+		t.Errorf("missing platform sections:\n%s", out)
+	}
+}

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV parser: arbitrary byte soup must yield a
+// clean error or a stream that survives re-serialization — never a
+// panic. Run with `go test -fuzz=FuzzReadCSV ./internal/workload` for a
+// real campaign; the seed corpus runs on every `go test`.
+func FuzzReadCSV(f *testing.F) {
+	// Seed corpus: the canonical header, valid rows, and near-misses.
+	f.Add("kind,id,arrival,platform,x,y,value,radius,history\n")
+	f.Add("kind,id,arrival,platform,x,y,value,radius,history\nworker,1,0,1,0,0,,1,2;3\n")
+	f.Add("kind,id,arrival,platform,x,y,value,radius,history\nrequest,1,5,1,0.5,0.5,12,,\n")
+	f.Add("kind,id,arrival,platform,x,y,value,radius,history\nalien,1,0,1,0,0,1,,\n")
+	f.Add("kind,id,arrival,platform,x,y,value,radius,history\nworker,1,0,1,NaN,0,,1,\n")
+	f.Add("")
+	f.Add(",,,,,,,,\n")
+	f.Add("kind,id\nworker,1\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted input must round-trip.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, s); err != nil {
+			t.Fatalf("accepted stream failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized stream failed to parse: %v", err)
+		}
+		if back.Len() != s.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", s.Len(), back.Len())
+		}
+	})
+}
