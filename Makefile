@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+check:
+	sh scripts/check.sh
+
+clean:
+	$(GO) clean ./...

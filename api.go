@@ -1,15 +1,17 @@
 package crossmatch
 
 import (
+	"context"
 	"fmt"
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/experiments"
+	"crossmatch/internal/metrics"
 	"crossmatch/internal/platform"
 	"crossmatch/internal/workload"
 )
 
-// Algorithm names accepted by Simulate.
+// Algorithm names accepted by SimulateContext.
 const (
 	// TOTA is the single-platform online greedy baseline [9].
 	TOTA = platform.AlgTOTA
@@ -19,6 +21,17 @@ const (
 	DemCOM = platform.AlgDemCOM
 	// RamCOM is the randomized cross online matching of Algorithm 3.
 	RamCOM = platform.AlgRamCOM
+)
+
+// Sentinel errors. Callers should test with errors.Is: lookups wrap
+// these with the offending name and the accepted values.
+var (
+	// ErrUnknownAlgorithm reports an algorithm name SimulateContext does
+	// not recognize.
+	ErrUnknownAlgorithm = platform.ErrUnknownAlgorithm
+	// ErrUnknownPreset reports a dataset preset name GenerateCity or
+	// ReproduceTable does not recognize.
+	ErrUnknownPreset = workload.ErrUnknownPreset
 )
 
 // Re-exported domain types. The full type definitions live in
@@ -38,11 +51,24 @@ type (
 	PlatformID = core.PlatformID
 	// Time is a discrete arrival tick.
 	Time = core.Time
-	// SimResult is the outcome of a Simulate run.
+	// SimResult is the outcome of a SimulateContext run.
 	SimResult = platform.Result
 	// OfflineResult is the outcome of the OFF baseline.
 	OfflineResult = platform.OfflineResult
+	// Metrics is a race-free counter/latency collector; attach one with
+	// WithMetrics and read it with Snapshot after (or during) runs.
+	Metrics = metrics.Collector
+	// Preset describes one of the paper's Table III dataset substitutes.
+	Preset = workload.Preset
 )
+
+// NewMetrics returns an empty collector ready to share across
+// concurrent simulations.
+func NewMetrics() *Metrics { return metrics.New() }
+
+// Presets lists the supported Table III dataset presets in the order
+// the paper reports them (Tables V-VII).
+func Presets() []Preset { return workload.Presets() }
 
 // NewStream validates and time-orders arrival events built from workers
 // and requests.
@@ -66,13 +92,23 @@ func GenerateSynthetic(totalRequests, totalWorkers int, rad float64, valueDist s
 	return workload.Generate(cfg, seed)
 }
 
+// presetFor resolves a Table III preset name, prefixing lookup failures
+// with the package name; the returned error wraps ErrUnknownPreset.
+func presetFor(name string) (workload.Preset, error) {
+	p, err := workload.PresetFor(name)
+	if err != nil {
+		return workload.Preset{}, fmt.Errorf("crossmatch: %w", err)
+	}
+	return p, nil
+}
+
 // GenerateCity builds one of the paper's Table III dataset substitutes
 // ("RDC10+RYC10", "RDC11+RYC11" or "RDX11+RYX11") at the given scale in
 // (0, 1] of the paper's counts.
 func GenerateCity(preset string, scale float64, seed int64) (*Stream, error) {
-	p, ok := workload.PresetByName(preset)
-	if !ok {
-		return nil, fmt.Errorf("crossmatch: unknown preset %q (want one of %v)", preset, workload.PresetNames())
+	p, err := presetFor(preset)
+	if err != nil {
+		return nil, err
 	}
 	cfg, err := p.Config(scale)
 	if err != nil {
@@ -81,7 +117,76 @@ func GenerateCity(preset string, scale float64, seed int64) (*Stream, error) {
 	return workload.Generate(cfg, seed)
 }
 
+// Option configures a SimulateContext run.
+type Option func(*simConfig)
+
+type simConfig struct {
+	seed         int64
+	disableCoop  bool
+	serviceTicks Time
+	metrics      *Metrics
+	profileLabel string
+}
+
+// WithSeed roots all of the run's randomness; the same seed and stream
+// give the same result.
+func WithSeed(seed int64) Option {
+	return func(c *simConfig) { c.seed = seed }
+}
+
+// WithCoopDisabled turns off cross-platform worker sharing, degrading
+// the COM algorithms to TOTA (the Section III-D ablation).
+func WithCoopDisabled() Option {
+	return func(c *simConfig) { c.disableCoop = true }
+}
+
+// WithServiceTicks returns each worker to its waiting list that many
+// ticks after an assignment (an engine-level extension; the paper's
+// model instead encodes returns as fresh worker arrivals, which the
+// generators produce).
+func WithServiceTicks(ticks Time) Option {
+	return func(c *simConfig) { c.serviceTicks = ticks }
+}
+
+// WithMetrics attaches a collector that tallies matches, rejections,
+// acceptance probes and per-platform decision latencies. One collector
+// may be shared by concurrent runs; pass nil to disable (the default).
+func WithMetrics(m *Metrics) Option {
+	return func(c *simConfig) { c.metrics = m }
+}
+
+// WithProfileLabel tags the run's goroutines with a pprof label so CPU
+// profiles of concurrent simulations stay attributable.
+func WithProfileLabel(label string) Option {
+	return func(c *simConfig) { c.profileLabel = label }
+}
+
+// SimulateContext runs the named online algorithm over the stream, one
+// matcher per platform, cooperating through a shared hub. The context
+// cancels mid-stream: the run stops between arrival events and returns
+// the partial result alongside an error wrapping ctx.Err().
+func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts ...Option) (*SimResult, error) {
+	var c simConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	factory, err := platform.FactoryFor(algorithm, stream.MaxValue())
+	if err != nil {
+		return nil, fmt.Errorf("crossmatch: %w", err)
+	}
+	return platform.RunContext(ctx, stream, factory, platform.Config{
+		Seed:         c.seed,
+		DisableCoop:  c.disableCoop,
+		ServiceTicks: c.serviceTicks,
+		Metrics:      c.metrics,
+		ProfileLabel: c.profileLabel,
+	})
+}
+
 // SimOptions configures Simulate.
+//
+// Deprecated: use SimulateContext with WithSeed, WithCoopDisabled and
+// WithServiceTicks.
 type SimOptions struct {
 	// Seed drives all randomness; same seed + stream = same result.
 	Seed int64
@@ -95,19 +200,17 @@ type SimOptions struct {
 	ServiceTicks Time
 }
 
-// Simulate runs the named online algorithm over the stream, one matcher
-// per platform, cooperating through a shared hub.
+// Simulate runs the named online algorithm over the stream.
+//
+// Deprecated: use SimulateContext, which adds cancellation, functional
+// options and metrics collection. Simulate remains as a thin wrapper
+// and behaves identically for the same inputs.
 func Simulate(stream *Stream, algorithm string, opts SimOptions) (*SimResult, error) {
-	factory, ok := platform.FactoryByName(algorithm, stream.MaxValue())
-	if !ok {
-		return nil, fmt.Errorf("crossmatch: unknown algorithm %q (want %s, %s, %s or %s)",
-			algorithm, TOTA, GreedyRT, DemCOM, RamCOM)
+	options := []Option{WithSeed(opts.Seed), WithServiceTicks(opts.ServiceTicks)}
+	if opts.DisableCoop {
+		options = append(options, WithCoopDisabled())
 	}
-	return platform.Run(stream, factory, platform.Config{
-		Seed:         opts.Seed,
-		DisableCoop:  opts.DisableCoop,
-		ServiceTicks: opts.ServiceTicks,
-	})
+	return SimulateContext(context.Background(), stream, algorithm, options...)
 }
 
 // Offline computes the OFF baseline: the offline optimum of COM as an
@@ -120,9 +223,9 @@ func Offline(stream *Stream) (*OfflineResult, error) {
 // named dataset preset at the given scale; see EXPERIMENTS.md for the
 // published runs. The returned result renders with .Table().
 func ReproduceTable(preset string, scale float64, seed int64) (*experiments.TableResult, error) {
-	p, ok := workload.PresetByName(preset)
-	if !ok {
-		return nil, fmt.Errorf("crossmatch: unknown preset %q (want one of %v)", preset, workload.PresetNames())
+	p, err := presetFor(preset)
+	if err != nil {
+		return nil, err
 	}
 	return experiments.RunTable(p, experiments.TableOptions{Scale: scale, Seed: seed})
 }

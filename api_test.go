@@ -1,9 +1,13 @@
 package crossmatch
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"crossmatch/internal/geo"
 )
@@ -117,6 +121,109 @@ func TestSimulateCOMBeatsTOTAOnCity(t *testing.T) {
 	}
 	if noCoop.TotalRevenue() != tota.TotalRevenue() {
 		t.Errorf("DemCOM(no coop) %v != TOTA %v", noCoop.TotalRevenue(), tota.TotalRevenue())
+	}
+}
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	s, err := GenerateSynthetic(300, 60, 1.0, "real", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Simulate(s, DemCOM, SimOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := SimulateContext(context.Background(), s, DemCOM, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.TotalRevenue() != now.TotalRevenue() || old.TotalServed() != now.TotalServed() {
+		t.Errorf("SimulateContext diverges from Simulate: revenue %v vs %v, served %d vs %d",
+			now.TotalRevenue(), old.TotalRevenue(), now.TotalServed(), old.TotalServed())
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	s, err := GenerateSynthetic(500, 100, 1.0, "real", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the run: it must stop at the first check
+	res, err := SimulateContext(ctx, s, DemCOM, WithSeed(1))
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	if res == nil {
+		t.Error("cancelled run returned no partial result")
+	} else if res.TotalServed() < 0 || res.TotalServed() >= len(s.Requests()) {
+		t.Errorf("partial result served %d of %d requests", res.TotalServed(), len(s.Requests()))
+	}
+	// Soft leak check: the engine is synchronous, so the goroutine count
+	// settles back to the baseline once the call returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestSimulateContextErrorsIs(t *testing.T) {
+	s, err := ExampleStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SimulateContext(context.Background(), s, "Magic")
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("error does not wrap ErrUnknownAlgorithm: %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "Magic") {
+		t.Errorf("error does not name the algorithm: %v", err)
+	}
+	if _, err := GenerateCity("RDZ99", 0.01, 3); !errors.Is(err, ErrUnknownPreset) {
+		t.Errorf("GenerateCity error does not wrap ErrUnknownPreset: %v", err)
+	}
+	if _, err := ReproduceTable("RDZ99", 0.01, 3); !errors.Is(err, ErrUnknownPreset) {
+		t.Errorf("ReproduceTable error does not wrap ErrUnknownPreset: %v", err)
+	}
+}
+
+func TestSimulateContextWithMetrics(t *testing.T) {
+	s, err := GenerateSynthetic(300, 60, 1.0, "real", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	if _, err := SimulateContext(context.Background(), s, DemCOM, WithSeed(5), WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	rep := m.Snapshot()
+	if rep.Counters.Runs != 1 {
+		t.Errorf("runs = %d, want 1", rep.Counters.Runs)
+	}
+	if rep.Counters.InnerMatches+rep.Counters.OuterMatches == 0 {
+		t.Error("no matches recorded")
+	}
+	if len(rep.Latencies) == 0 {
+		t.Error("no latency summaries recorded")
+	}
+}
+
+func TestPresetsAccessor(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d, want 3", len(ps))
+	}
+	for _, p := range ps {
+		if _, err := GenerateCity(p.Name, 0.002, 1); err != nil {
+			t.Errorf("preset %q does not generate: %v", p.Name, err)
+		}
 	}
 }
 

@@ -206,6 +206,30 @@ func BenchmarkValueDist(b *testing.B) {
 	}
 }
 
+// benchTableRunner measures RunTable end to end on the synthetic
+// Table IV workload with a fixed pool size, so
+// BenchmarkTableSequential vs BenchmarkTableParallel quantifies the
+// concurrent experiment engine's speedup (they compute identical
+// tables; see TestRunTableDeterministicAcrossPoolSizes).
+func benchTableRunner(b *testing.B, parallelism int) {
+	b.Helper()
+	p := workload.SyntheticPreset()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable(p, experiments.TableOptions{
+			Scale: 0.2, Seed: benchSeed, Repeats: 2,
+			Runner: &experiments.Runner{Parallelism: parallelism},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, res)
+	}
+}
+
+func BenchmarkTableSequential(b *testing.B) { benchTableRunner(b, 1) }
+func BenchmarkTableParallel(b *testing.B)   { benchTableRunner(b, 0) }
+
 // BenchmarkDecisionLatency isolates the per-request decision cost of
 // each online matcher (the quantity behind the paper's "response time"
 // columns), excluding stream generation.

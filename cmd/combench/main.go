@@ -15,34 +15,65 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"crossmatch/internal/experiments"
+	"crossmatch/internal/metrics"
 	"crossmatch/internal/stats"
 	"crossmatch/internal/workload"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, all)")
-		scale   = flag.Float64("scale", 0.05, "fraction of the paper's Table III dataset sizes for table experiments")
-		seed    = flag.Int64("seed", 42, "root random seed")
-		repeats = flag.Int("repeats", 3, "seeds averaged per measurement")
-		cap     = flag.Float64("cap", 0, "truncate sweep axes at this value (0 = full Table IV axes)")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		plot    = flag.Bool("plot", false, "render figure series as ASCII charts alongside the tables")
+		exp         = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, all)")
+		scale       = flag.Float64("scale", 0.05, "fraction of the paper's Table III dataset sizes for table experiments")
+		seed        = flag.Int64("seed", 42, "root random seed")
+		repeats     = flag.Int("repeats", 3, "seeds averaged per measurement")
+		cap         = flag.Float64("cap", 0, "truncate sweep axes at this value (0 = full Table IV axes)")
+		csvOut      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		plot        = flag.Bool("plot", false, "render figure series as ASCII charts alongside the tables")
+		par         = flag.Int("par", 0, "worker-pool size for unit runs (0 = GOMAXPROCS, 1 = sequential)")
+		metricsPath = flag.String("metrics", "", "write an aggregate metrics report as JSON to this file ('-' = stderr)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot); err != nil {
-		fmt.Fprintf(os.Stderr, "combench: %v\n", err)
+	runner := &experiments.Runner{Parallelism: *par}
+	if *metricsPath != "" {
+		runner.Metrics = metrics.New()
+	}
+	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, runner); err != nil {
+		if errors.Is(err, workload.ErrUnknownPreset) {
+			fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "combench: %v\n", err)
+		}
 		os.Exit(1)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, runner.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "combench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool) error {
+func writeMetrics(path string, c *metrics.Collector) error {
+	out := io.Writer(os.Stderr)
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return c.Snapshot().WriteJSON(out)
+}
+
+func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, runner *experiments.Runner) error {
 	render := func(t *stats.Table) error {
 		var err error
 		if csvOut {
@@ -71,7 +102,7 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 			return s, nil
 		}
 		s, err := experiments.RunSweep(axis, experiments.SweepOptions{
-			Seed: seed, Repeats: repeats, ScaleCap: cap,
+			Seed: seed, Repeats: repeats, ScaleCap: cap, Runner: runner,
 		})
 		if err != nil {
 			return nil, err
@@ -81,12 +112,12 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 	}
 
 	table := func(preset string) error {
-		p, ok := workload.PresetByName(preset)
-		if !ok {
-			return fmt.Errorf("unknown preset %q", preset)
+		p, err := workload.PresetFor(preset)
+		if err != nil {
+			return err
 		}
 		res, err := experiments.RunTable(p, experiments.TableOptions{
-			Scale: scale, Seed: seed, Repeats: repeats,
+			Scale: scale, Seed: seed, Repeats: repeats, Runner: runner,
 		})
 		if err != nil {
 			return err
@@ -161,37 +192,37 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 			err = figure(experiments.AxisRadius, "acceptance")
 		case "cr":
 			var res *experiments.CRResult
-			res, err = experiments.RunCompetitiveRatio(experiments.CROptions{Seed: seed})
+			res, err = experiments.RunCompetitiveRatio(experiments.CROptions{Seed: seed, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}
 		case "ablations":
 			var res *experiments.AblationResult
-			res, err = experiments.RunAblations(experiments.AblationOptions{Seed: seed, Repeats: repeats})
+			res, err = experiments.RunAblations(experiments.AblationOptions{Seed: seed, Repeats: repeats, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}
 		case "roadnet":
 			var res *experiments.RoadNetResult
-			res, err = experiments.RunRoadNet(experiments.RoadNetOptions{Seed: seed, Repeats: repeats})
+			res, err = experiments.RunRoadNet(experiments.RoadNetOptions{Seed: seed, Repeats: repeats, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}
 		case "valuedist":
 			var res *experiments.ValueDistResult
-			res, err = experiments.RunValueDist(experiments.ValueDistOptions{Seed: seed, Repeats: repeats})
+			res, err = experiments.RunValueDist(experiments.ValueDistOptions{Seed: seed, Repeats: repeats, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}
 		case "platforms":
 			var res *experiments.PlatformCountResult
-			res, err = experiments.RunPlatformCount(experiments.PlatformCountOptions{Seed: seed, Repeats: repeats})
+			res, err = experiments.RunPlatformCount(experiments.PlatformCountOptions{Seed: seed, Repeats: repeats, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}
 		case "variance":
 			var res *experiments.VarianceResult
-			res, err = experiments.RunVariance(experiments.VarianceOptions{Seed: seed})
+			res, err = experiments.RunVariance(experiments.VarianceOptions{Seed: seed, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
 			}

@@ -4,11 +4,35 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"crossmatch/internal/experiments"
+	"crossmatch/internal/metrics"
 )
+
+func TestRunCollectsMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	runner := &experiments.Runner{Parallelism: 1, Metrics: metrics.New()}
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, runner); err != nil {
+		t.Fatal(err)
+	}
+	rep := runner.Metrics.Snapshot()
+	if rep.Counters.Runs == 0 {
+		t.Error("metrics recorded no runs")
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"runs", "inner_matches", "latencies"} {
+		if !strings.Contains(js.String(), key) {
+			t.Errorf("metrics JSON missing %q:\n%s", key, js.String())
+		}
+	}
+}
 
 func TestRunSingleTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false); err != nil {
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,10 +45,10 @@ func TestRunSingleTable(t *testing.T) {
 
 func TestRunFigureSharesSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false); err != nil {
+	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -35,7 +59,7 @@ func TestRunFigureSharesSweep(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rad,TOTA,DemCOM,RamCOM") {
@@ -45,7 +69,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false); err == nil {
+	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false, experiments.Sequential()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -55,7 +79,7 @@ func TestRunCR(t *testing.T) {
 	// CROptions defaults are too heavy for a unit test; the cr path is
 	// covered via the experiments package tests. Here just ensure the
 	// ablations path wires through.
-	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false); err != nil {
+	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "oracle") {
@@ -65,7 +89,7 @@ func TestRunCR(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,7 +35,11 @@ func main() {
 	flag.Parse()
 
 	if err := run(os.Stdout, *requests, *workers, *rad, *dist, *preset, *scale, *seed, *summarize, *mapOut); err != nil {
-		fmt.Fprintf(os.Stderr, "comgen: %v\n", err)
+		if errors.Is(err, workload.ErrUnknownPreset) {
+			fmt.Fprintf(os.Stderr, "comgen: %v\nrun 'comgen -h' for usage\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "comgen: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -62,9 +67,9 @@ func run(w io.Writer, requests, workers int, rad float64, dist, preset string, s
 	var cfg workload.Config
 	var err error
 	if preset != "" {
-		p, ok := workload.PresetByName(preset)
-		if !ok {
-			return fmt.Errorf("unknown preset %q (want one of %v)", preset, workload.PresetNames())
+		p, perr := workload.PresetFor(preset)
+		if perr != nil {
+			return perr
 		}
 		cfg, err = p.Config(scale)
 	} else {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,7 +55,12 @@ func main() {
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
-		fmt.Fprintf(os.Stderr, "comsim: %v\n", err)
+		switch {
+		case errors.Is(err, platform.ErrUnknownAlgorithm), errors.Is(err, workload.ErrUnknownPreset):
+			fmt.Fprintf(os.Stderr, "comsim: %v\nrun 'comsim -h' for the accepted values\n", err)
+		default:
+			fmt.Fprintf(os.Stderr, "comsim: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -71,9 +77,9 @@ func loadStream(o options) (*core.Stream, error) {
 	var cfg workload.Config
 	var err error
 	if o.preset != "" {
-		p, ok := workload.PresetByName(o.preset)
-		if !ok {
-			return nil, fmt.Errorf("unknown preset %q (want one of %v)", o.preset, workload.PresetNames())
+		p, perr := workload.PresetFor(o.preset)
+		if perr != nil {
+			return nil, perr
 		}
 		cfg, err = p.Config(o.scale)
 	} else {
@@ -90,9 +96,9 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	factory, ok := platform.FactoryByName(o.alg, stream.MaxValue())
-	if !ok {
-		return fmt.Errorf("unknown algorithm %q", o.alg)
+	factory, err := platform.FactoryFor(o.alg, stream.MaxValue())
+	if err != nil {
+		return err
 	}
 	if o.ensemble > 1 {
 		return runEnsemble(w, o, stream, factory)

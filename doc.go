@@ -22,13 +22,22 @@
 //   - workload generators reproducing the paper's city datasets and
 //     Table IV synthetic sweeps;
 //   - experiment runners regenerating every table and figure of the
-//     paper's evaluation (see EXPERIMENTS.md).
+//     paper's evaluation, fanned across a deterministic worker pool
+//     (see EXPERIMENTS.md).
 //
 // # Quick start
 //
 //	stream, _ := crossmatch.GenerateSynthetic(2500, 500, 1.0, "real", 42)
-//	result, _ := crossmatch.Simulate(stream, crossmatch.DemCOM, crossmatch.SimOptions{Seed: 1})
+//	result, _ := crossmatch.SimulateContext(context.Background(), stream,
+//		crossmatch.DemCOM, crossmatch.WithSeed(1))
 //	fmt.Println(result.TotalRevenue())
+//
+// SimulateContext stops between arrival events when its context is
+// cancelled, returning the partial result alongside an error wrapping
+// ctx.Err(). Options attach a seed (WithSeed), disable cross-platform
+// cooperation (WithCoopDisabled), model worker return delays
+// (WithServiceTicks) and collect counters and latency histograms
+// (WithMetrics). Simulate and SimOptions remain as deprecated wrappers.
 //
 // See examples/ for runnable programs and cmd/combench for the full
 // benchmark harness.

@@ -1,6 +1,7 @@
 package crossmatch_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,12 +11,13 @@ import (
 // The paper's running Example 1: five requests, five workers, two
 // platforms. TOTA is deterministic (greedy nearest inner worker), so
 // its outcome is exactly the hand-computed 16.
-func ExampleSimulate() {
+func ExampleSimulateContext() {
 	stream, err := crossmatch.ExampleStream()
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := crossmatch.Simulate(stream, crossmatch.TOTA, crossmatch.SimOptions{Seed: 1})
+	res, err := crossmatch.SimulateContext(context.Background(), stream,
+		crossmatch.TOTA, crossmatch.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func ExampleNewStream() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := crossmatch.Simulate(stream, crossmatch.TOTA, crossmatch.SimOptions{})
+	res, err := crossmatch.SimulateContext(context.Background(), stream, crossmatch.TOTA)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,16 +59,35 @@ func ExampleNewStream() {
 
 // Cooperation can be disabled to measure what borrowing is worth: with
 // the hub off, DemCOM degrades exactly to the TOTA baseline.
-func ExampleSimulate_disableCoop() {
+func ExampleSimulateContext_withCoopDisabled() {
 	stream, err := crossmatch.ExampleStream()
 	if err != nil {
 		log.Fatal(err)
 	}
-	solo, err := crossmatch.Simulate(stream, crossmatch.DemCOM,
-		crossmatch.SimOptions{Seed: 1, DisableCoop: true})
+	solo, err := crossmatch.SimulateContext(context.Background(), stream,
+		crossmatch.DemCOM, crossmatch.WithSeed(1), crossmatch.WithCoopDisabled())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("revenue %.1f, cooperative %d\n", solo.TotalRevenue(), solo.CooperativeServed())
 	// Output: revenue 16.0, cooperative 0
+}
+
+// A shared Metrics collector tallies matches, rejections, acceptance
+// probes and per-platform decision latencies; it is safe to share
+// across concurrent simulations.
+func ExampleSimulateContext_withMetrics() {
+	stream, err := crossmatch.ExampleStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := crossmatch.NewMetrics()
+	if _, err := crossmatch.SimulateContext(context.Background(), stream,
+		crossmatch.TOTA, crossmatch.WithSeed(1), crossmatch.WithMetrics(m)); err != nil {
+		log.Fatal(err)
+	}
+	rep := m.Snapshot()
+	fmt.Printf("runs %d, matched %d, rejected %d\n",
+		rep.Counters.Runs, rep.Counters.InnerMatches, rep.Counters.Rejections)
+	// Output: runs 1, matched 3, rejected 2
 }

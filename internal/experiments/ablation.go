@@ -19,6 +19,9 @@ type AblationOptions struct {
 	Repeats int
 	// Seed roots all randomness.
 	Seed int64
+	// Runner fans the (variant × repeat) unit runs across a worker pool;
+	// nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *AblationOptions) withDefaults() AblationOptions {
@@ -124,21 +127,28 @@ func RunAblations(opts AblationOptions) (*AblationResult, error) {
 		{VarRamCOMNoCoop, platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), true},
 	}
 
+	// One unit run per (variant, repeat); streams regenerate per repeat
+	// inside the job from the shared config, so runs stay isolated. Run
+	// (vi, rep) lands at vi*Repeats + rep for in-order aggregation.
 	res := &AblationResult{Opts: o}
-	for _, v := range variants {
+	runs, err := runAll(o.Runner, len(variants)*o.Repeats, func(i int) (*platform.Result, error) {
+		v := variants[i/o.Repeats]
+		seed := o.Seed + int64(i%o.Repeats)*6151
+		stream, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		return platform.Run(stream, v.factory, o.Runner.simConfig(seed, v.noCoop, "ablation/"+v.name))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var row AblationRow
 		row.Variant = v.name
 		attempted := 0.0
 		for rep := 0; rep < o.Repeats; rep++ {
-			seed := o.Seed + int64(rep)*6151
-			stream, err := workload.Generate(cfg, seed)
-			if err != nil {
-				return nil, err
-			}
-			run, err := platform.Run(stream, v.factory, platform.Config{Seed: seed, DisableCoop: v.noCoop})
-			if err != nil {
-				return nil, err
-			}
+			run := runs[vi*o.Repeats+rep]
 			row.Revenue += run.TotalRevenue()
 			row.Served += float64(run.TotalServed())
 			row.CoR += float64(run.CooperativeServed())

@@ -24,6 +24,9 @@ type CROptions struct {
 	Radius float64
 	// Seed roots all randomness.
 	Seed int64
+	// Runner fans the study's instances across a worker pool; nil uses
+	// GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *CROptions) withDefaults() CROptions {
@@ -87,9 +90,13 @@ func RunCompetitiveRatio(opts CROptions) (*CRResult, error) {
 	for _, a := range algs {
 		res.MinRatio[a] = math.Inf(1)
 	}
-	counted := 0
 
-	for inst := 0; inst < o.Instances; inst++ {
+	// Instances are fully independent — each one generates its own base
+	// input, its own arrival orders and its own OPT solves — so the
+	// runner fans them out whole; per-instance ratios come back in
+	// instance order and fold into min/mean deterministically.
+	// degenerate instances (no request servable in any order) return nil.
+	instRatios, err := runAll(o.Runner, o.Instances, func(inst int) (map[string]float64, error) {
 		cfg, err := workload.Synthetic(o.Requests, o.Workers, o.Radius, "real")
 		if err != nil {
 			return nil, err
@@ -122,9 +129,8 @@ func RunCompetitiveRatio(opts CROptions) (*CRResult, error) {
 			orders = append(orders, orderCase{stream: shuffled, opt: off.TotalWeight})
 		}
 		if len(orders) == 0 {
-			continue // degenerate instance; no request servable in any order
+			return nil, nil // degenerate instance
 		}
-		counted++
 		maxV := cfg.MaxValue()
 		factories := map[string]platform.MatcherFactory{
 			platform.AlgTOTA:     platform.TOTAFactory(),
@@ -132,20 +138,35 @@ func RunCompetitiveRatio(opts CROptions) (*CRResult, error) {
 			platform.AlgDemCOM:   platform.DemCOMFactory(pricing.DefaultMonteCarlo, false),
 			platform.AlgRamCOM:   platform.RamCOMFactory(maxV, platform.RamCOMOptions{}),
 		}
+		ratios := make(map[string]float64, len(algs))
 		for _, a := range algs {
 			sum := 0.0
 			for ord, oc := range orders {
-				run, err := platform.Run(oc.stream, factories[a], platform.Config{Seed: genSeed + int64(ord)})
+				run, err := platform.Run(oc.stream, factories[a],
+					o.Runner.simConfig(genSeed+int64(ord), false, "cr/"+a))
 				if err != nil {
 					return nil, err
 				}
 				sum += run.TotalRevenue() / oc.opt
 			}
-			ratio := sum / float64(len(orders))
-			if ratio < res.MinRatio[a] {
-				res.MinRatio[a] = ratio
+			ratios[a] = sum / float64(len(orders))
+		}
+		return ratios, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	counted := 0
+	for _, ratios := range instRatios {
+		if ratios == nil {
+			continue
+		}
+		counted++
+		for _, a := range algs {
+			if ratios[a] < res.MinRatio[a] {
+				res.MinRatio[a] = ratios[a]
 			}
-			res.MeanRatio[a] += ratio
+			res.MeanRatio[a] += ratios[a]
 		}
 	}
 	if counted == 0 {

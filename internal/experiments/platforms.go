@@ -18,6 +18,9 @@ type PlatformCountOptions struct {
 	Radius            float64
 	Repeats           int
 	Seed              int64
+	// Runner fans the (count × algorithm × repeat) unit runs across a
+	// worker pool; nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *PlatformCountOptions) withDefaults() PlatformCountOptions {
@@ -89,37 +92,53 @@ func (r *PlatformCountResult) Table() *stats.Table {
 func RunPlatformCount(opts PlatformCountOptions) (*PlatformCountResult, error) {
 	o := opts.withDefaults()
 	res := &PlatformCountResult{Opts: o}
-	for _, n := range o.Counts {
+	algoNames := []string{platform.AlgTOTA, platform.AlgDemCOM, platform.AlgRamCOM}
+	cfgs := make([]workload.Config, len(o.Counts))
+	for ci, n := range o.Counts {
 		cfg, err := workload.SyntheticMulti(n, o.Requests, o.Workers, o.Radius, "real")
 		if err != nil {
 			return nil, err
 		}
-		maxV := cfg.MaxValue()
-		algos := []struct {
-			name    string
-			factory platform.MatcherFactory
-		}{
-			{platform.AlgTOTA, platform.TOTAFactory()},
-			{platform.AlgDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)},
-			{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{})},
+		cfgs[ci] = cfg
+	}
+	factoryFor := func(cfg workload.Config, name string) platform.MatcherFactory {
+		switch name {
+		case platform.AlgDemCOM:
+			return platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)
+		case platform.AlgRamCOM:
+			return platform.RamCOMFactory(cfg.MaxValue(), platform.RamCOMOptions{})
+		default:
+			return platform.TOTAFactory()
 		}
-		for _, a := range algos {
-			row := PlatformCountRow{Platforms: n, Algorithm: a.name}
-			for rep := 0; rep < o.Repeats; rep++ {
-				seed := o.Seed + int64(rep)*3371
-				stream, err := workload.Generate(cfg, seed)
-				if err != nil {
-					return nil, err
-				}
-				run, err := platform.Run(stream, a.factory, platform.Config{Seed: seed})
-				if err != nil {
-					return nil, err
-				}
+	}
+
+	// One unit run per (count, algorithm, repeat), flattened in that
+	// order; streams regenerate per job from (config, seed).
+	nAlgos, nReps := len(algoNames), o.Repeats
+	runs, err := runAll(o.Runner, len(o.Counts)*nAlgos*nReps, func(i int) (*platform.Result, error) {
+		ci, rest := i/(nAlgos*nReps), i%(nAlgos*nReps)
+		ai, rep := rest/nReps, rest%nReps
+		seed := o.Seed + int64(rep)*3371
+		stream, err := workload.Generate(cfgs[ci], seed)
+		if err != nil {
+			return nil, err
+		}
+		return platform.Run(stream, factoryFor(cfgs[ci], algoNames[ai]),
+			o.Runner.simConfig(seed, false, fmt.Sprintf("platforms=%d/%s", o.Counts[ci], algoNames[ai])))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ci, n := range o.Counts {
+		for ai, name := range algoNames {
+			row := PlatformCountRow{Platforms: n, Algorithm: name}
+			for rep := 0; rep < nReps; rep++ {
+				run := runs[ci*nAlgos*nReps+ai*nReps+rep]
 				row.Revenue += run.TotalRevenue()
 				row.Served += float64(run.TotalServed())
 				row.CoR += float64(run.CooperativeServed())
 			}
-			nRep := float64(o.Repeats)
+			nRep := float64(nReps)
 			row.Revenue /= nRep
 			row.Served /= nRep
 			row.CoR /= nRep

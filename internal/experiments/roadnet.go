@@ -26,6 +26,9 @@ type RoadNetOptions struct {
 	// Repeats averages over this many seeds.
 	Repeats int
 	Seed    int64
+	// Runner fans the (algorithm × range × repeat) unit runs across a
+	// worker pool; nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *RoadNetOptions) withDefaults() RoadNetOptions {
@@ -123,34 +126,42 @@ func RunRoadNet(opts RoadNetOptions) (*RoadNetResult, error) {
 	}
 
 	res := &RoadNetResult{Opts: o}
-	for _, alg := range algorithms {
-		for _, kind := range []string{"euclidean", "road"} {
-			var row RoadNetRow
-			row.Algorithm = alg.name
-			row.RangeKind = kind
-			for rep := 0; rep < o.Repeats; rep++ {
-				seed := o.Seed + int64(rep)*7907
-				stream, err := workload.Generate(cfg, seed)
-				if err != nil {
-					return nil, err
-				}
-				factory := alg.mk()
-				if kind == "road" {
-					// One shared road-coverage cache per run: the hub
-					// probes several pools for the same request, and
-					// they all reuse one distance field.
-					cov := roadnet.NewCoverage(net, o.Radius)
-					factory = withRangeFilter(factory, cov.Covers)
-				}
-				run, err := platform.Run(stream, factory, platform.Config{Seed: seed})
-				if err != nil {
-					return nil, err
-				}
+	kinds := []string{"euclidean", "road"}
+
+	// One unit run per (algorithm, range kind, repeat), flattened in that
+	// order. Each road job builds its own coverage cache: the hub probes
+	// several pools for the same request and they all reuse one distance
+	// field, but the cache itself is not safe to share across runs.
+	nKinds, nReps := len(kinds), o.Repeats
+	runs, err := runAll(o.Runner, len(algorithms)*nKinds*nReps, func(i int) (*platform.Result, error) {
+		ai, rest := i/(nKinds*nReps), i%(nKinds*nReps)
+		ki, rep := rest/nReps, rest%nReps
+		seed := o.Seed + int64(rep)*7907
+		stream, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		factory := algorithms[ai].mk()
+		if kinds[ki] == "road" {
+			cov := roadnet.NewCoverage(net, o.Radius)
+			factory = withRangeFilter(factory, cov.Covers)
+		}
+		return platform.Run(stream, factory,
+			o.Runner.simConfig(seed, false, "roadnet/"+kinds[ki]+"/"+algorithms[ai].name))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, alg := range algorithms {
+		for ki, kind := range kinds {
+			row := RoadNetRow{Algorithm: alg.name, RangeKind: kind}
+			for rep := 0; rep < nReps; rep++ {
+				run := runs[ai*nKinds*nReps+ki*nReps+rep]
 				row.Revenue += run.TotalRevenue()
 				row.Served += float64(run.TotalServed())
 				row.CoR += float64(run.CooperativeServed())
 			}
-			n := float64(o.Repeats)
+			n := float64(nReps)
 			row.Revenue /= n
 			row.Served /= n
 			row.CoR /= n

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"crossmatch/internal/metrics"
+	"crossmatch/internal/parallel"
+	"crossmatch/internal/platform"
+)
+
+// Runner is the concurrent experiment engine: every harness in this
+// package decomposes its evaluation into independent unit runs — one
+// (algorithm × seed × scale/variant) simulation each — and fans them
+// across a bounded worker pool.
+//
+// Determinism guarantee: each unit run derives all of its randomness
+// from its own submission index (its seed), every input stream is either
+// read-only-shared or regenerated per run from a (config, seed) pair,
+// and results are aggregated in submission order, never completion
+// order. Harness output is therefore bit-for-bit identical for any
+// Parallelism, including 1 — except the measurement columns (response
+// time, memory), which report real wall-clock and heap and so vary
+// run-to-run on any schedule.
+type Runner struct {
+	// Parallelism caps concurrent unit runs; <= 0 means GOMAXPROCS(0).
+	Parallelism int
+	// Metrics, when non-nil, collects the matching-funnel counters and
+	// decision-latency distributions of every unit run (see
+	// internal/metrics); it also switches on per-run pprof labels.
+	Metrics *metrics.Collector
+}
+
+// Sequential returns a runner that executes unit runs inline, one at a
+// time, on the calling goroutine — the reference path the determinism
+// tests and the BenchmarkTableSequential baseline compare against.
+func Sequential() *Runner { return &Runner{Parallelism: 1} }
+
+// workers resolves the pool size; a nil runner uses GOMAXPROCS.
+func (r *Runner) workers() int {
+	if r == nil {
+		return 0
+	}
+	return r.Parallelism
+}
+
+// metricsCollector returns the attached collector (nil-safe).
+func (r *Runner) metricsCollector() *metrics.Collector {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics
+}
+
+// simConfig builds the platform.Config for one unit run, threading the
+// collector and, when metrics are on, a pprof label naming the run.
+func (r *Runner) simConfig(seed int64, disableCoop bool, label string) platform.Config {
+	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop}
+	if m := r.metricsCollector(); m != nil {
+		cfg.Metrics = m
+		cfg.ProfileLabel = fmt.Sprintf("%s/seed=%d", label, seed)
+	}
+	return cfg
+}
+
+// runAll fans n independent unit runs across the runner's pool and
+// returns their results in submission order. job(i) must derive all of
+// its randomness from i alone.
+func runAll[T any](r *Runner, n int, job func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(r.workers(), n, job)
+}

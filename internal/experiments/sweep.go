@@ -37,6 +37,9 @@ type SweepOptions struct {
 	ScaleCap float64
 	// MC configures DemCOM's Algorithm 2 (default DefaultMonteCarlo).
 	MC pricing.MonteCarlo
+	// Runner fans the sweep's unit runs (one per x value, algorithm and
+	// repeat) across a worker pool; nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *SweepOptions) withDefaults() SweepOptions {
@@ -149,6 +152,9 @@ func RunSweep(axis SweepAxis, opts SweepOptions) (*SweepResult, error) {
 		Algos:  []string{platform.AlgTOTA, platform.AlgDemCOM, platform.AlgRamCOM},
 		Points: map[string][]SweepPoint{},
 	}
+	// Per-x configurations are deterministic; build them up front so the
+	// fan-out jobs only generate streams and simulate.
+	cfgs := make([]workload.Config, len(xs))
 	for i, x := range xs {
 		r, w, rad := 2500, 500, 1.0
 		switch axis {
@@ -163,43 +169,69 @@ func RunSweep(axis SweepAxis, opts SweepOptions) (*SweepResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		cfgs[i] = cfg
+	}
+
+	// One unit run per (x, algorithm, repeat), flattened in that order.
+	// Streams depend only on (config, seed) and regenerate inside each
+	// job, keeping runs isolated; aggregation walks the results in
+	// submission order, so points are identical on any pool size.
+	nAlgos, nReps := len(res.Algos), o.Repeats
+	points, err := runAll(o.Runner, len(xs)*nAlgos*nReps, func(j int) (SweepPoint, error) {
+		xi, rest := j/(nAlgos*nReps), j%(nAlgos*nReps)
+		ai, rep := rest/nReps, rest%nReps
+		cfg, algo := cfgs[xi], res.Algos[ai]
 		maxV := cfg.MaxValue()
 		factories := map[string]platform.MatcherFactory{
 			platform.AlgTOTA:   platform.TOTAFactory(),
 			platform.AlgDemCOM: platform.DemCOMFactory(o.MC, false),
 			platform.AlgRamCOM: platform.RamCOMFactory(maxV, platform.RamCOMOptions{}),
 		}
-		for _, algo := range res.Algos {
+		seed := o.Seed + int64(rep)*7919
+		stream, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		run, err := platform.Run(stream, factories[algo],
+			o.Runner.simConfig(seed, false, fmt.Sprintf("%s=%v/%s", axis, xs[xi], algo)))
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		var p SweepPoint
+		p.X = xs[xi]
+		// Capture memory while the stream and result are still live;
+		// without the KeepAlive the GC frees the stream before the
+		// measurement (it has no later uses).
+		p.MemoryMB = stats.MemoryMB()
+		runtime.KeepAlive(stream)
+		var totalResp time.Duration
+		totalReq := 0
+		for _, pr := range run.Platforms {
+			totalResp += pr.ResponseTotal
+			totalReq += pr.Stats.Requests
+		}
+		p.Revenue = run.TotalRevenue()
+		if totalReq > 0 {
+			p.ResponseMs = float64(totalResp) / float64(time.Millisecond) / float64(totalReq)
+		}
+		p.AcptRatio = run.AcceptanceRatio()
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for xi := range xs {
+		for ai, algo := range res.Algos {
 			var acc SweepPoint
-			acc.X = x
-			for rep := 0; rep < o.Repeats; rep++ {
-				seed := o.Seed + int64(rep)*7919
-				stream, err := workload.Generate(cfg, seed)
-				if err != nil {
-					return nil, err
-				}
-				run, err := platform.Run(stream, factories[algo], platform.Config{Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				// Capture memory while the stream and result are still
-				// live; without the KeepAlives the GC frees both before
-				// the measurement (they have no later uses).
-				acc.MemoryMB += stats.MemoryMB()
-				runtime.KeepAlive(stream)
-				var totalResp time.Duration
-				totalReq := 0
-				for _, pr := range run.Platforms {
-					totalResp += pr.ResponseTotal
-					totalReq += pr.Stats.Requests
-				}
-				acc.Revenue += run.TotalRevenue()
-				if totalReq > 0 {
-					acc.ResponseMs += float64(totalResp) / float64(time.Millisecond) / float64(totalReq)
-				}
-				acc.AcptRatio += run.AcceptanceRatio()
+			acc.X = xs[xi]
+			for rep := 0; rep < nReps; rep++ {
+				p := points[xi*nAlgos*nReps+ai*nReps+rep]
+				acc.Revenue += p.Revenue
+				acc.ResponseMs += p.ResponseMs
+				acc.MemoryMB += p.MemoryMB
+				acc.AcptRatio += p.AcptRatio
 			}
-			n := float64(o.Repeats)
+			n := float64(nReps)
 			acc.Revenue /= n
 			acc.ResponseMs /= n
 			acc.AcptRatio /= n
@@ -208,9 +240,6 @@ func RunSweep(axis SweepAxis, opts SweepOptions) (*SweepResult, error) {
 			stats.MustNonNegative("response", acc.ResponseMs)
 			stats.MustNonNegative("acceptance", acc.AcptRatio)
 			res.Points[algo] = append(res.Points[algo], acc)
-			if len(res.Points[algo]) != i+1 {
-				return nil, fmt.Errorf("experiments: internal bookkeeping error at x=%v", x)
-			}
 		}
 	}
 	return res, nil

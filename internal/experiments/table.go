@@ -95,6 +95,9 @@ type TableOptions struct {
 	// in particular averages RamCOM over draws of its random threshold
 	// k, which a single run fixes.
 	Repeats int
+	// Runner fans the table's unit runs (OFF plus Repeats seeds per
+	// online algorithm) across a worker pool; nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *TableOptions) withDefaults() TableOptions {
@@ -126,14 +129,6 @@ func RunTable(preset workload.Preset, opts TableOptions) (*TableResult, error) {
 	}
 	res := &TableResult{Dataset: preset.Name, Scale: o.Scale, Seed: o.Seed}
 
-	if !o.SkipOFF {
-		offRow, err := runOff(stream, o.OfflineSolver)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, offRow)
-	}
-
 	maxV := cfg.MaxValue()
 	type algo struct {
 		name    string
@@ -145,62 +140,73 @@ func RunTable(preset workload.Preset, opts TableOptions) (*TableResult, error) {
 		{platform.AlgDemCOM, platform.DemCOMFactory(o.MC, false), true},
 		{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{}), true},
 	}
-	for _, a := range algos {
-		row, err := runOnlineAveraged(stream, a.name, a.factory, a.coop, o.Seed, o.Repeats)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	return res, nil
-}
 
-// runOnlineAveraged averages an online algorithm's row over several
-// seeds on the same stream (same input, fresh randomness — thresholds,
-// Monte-Carlo draws, acceptance probes). The seeds run as a parallel
-// ensemble; streams are read-only during simulation, so sharing one
-// across runs is safe.
-func runOnlineAveraged(stream *core.Stream, name string, factory platform.MatcherFactory, coop bool, seed int64, repeats int) (TableRow, error) {
-	seeds := make([]int64, repeats)
-	for i := range seeds {
-		seeds[i] = seed + int64(i)*9973
+	// Every unit run — OFF (optional) plus Repeats seeds per online
+	// algorithm — is independent: the stream is read-only during
+	// simulation, so one copy is shared by all runs. Fan them across the
+	// runner's pool; outs arrives in submission order, so aggregation
+	// below is schedule-independent. Online run (ai, rep) lands at
+	// offset + ai*Repeats + rep.
+	type unit struct {
+		run *platform.Result
+		off TableRow
 	}
-	results, err := platform.RunEnsemble(
-		func(int64) (*core.Stream, error) { return stream, nil },
-		factory, platform.Config{}, seeds, 0)
-	if err != nil {
-		return TableRow{}, err
+	offset := 0
+	if !o.SkipOFF {
+		offset = 1
 	}
-	var acc TableRow
-	for _, run := range results {
-		if err := run.Validate(); err != nil {
-			return TableRow{}, fmt.Errorf("%s produced invalid matching: %w", name, err)
+	outs, err := runAll(o.Runner, offset+len(algos)*o.Repeats, func(i int) (unit, error) {
+		if i < offset {
+			row, err := runOff(stream, o.OfflineSolver)
+			return unit{off: row}, err
 		}
-		row := rowFromRun(run, name, coop)
-		acc.RevD += row.RevD
-		acc.RevY += row.RevY
-		acc.ResponseMs += row.ResponseMs
-		acc.CpRD += row.CpRD
-		acc.CpRY += row.CpRY
-		acc.CoR += row.CoR
-		acc.AcpRt += row.AcpRt
-		acc.PayRate += row.PayRate
+		a := algos[(i-offset)/o.Repeats]
+		rep := (i - offset) % o.Repeats
+		seed := o.Seed + int64(rep)*9973
+		run, err := platform.Run(stream, a.factory,
+			o.Runner.simConfig(seed, false, preset.Name+"/"+a.name))
+		if err != nil {
+			return unit{}, err
+		}
+		if err := run.Validate(); err != nil {
+			return unit{}, fmt.Errorf("%s produced invalid matching: %w", a.name, err)
+		}
+		return unit{run: run}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	n := float64(repeats)
-	acc.Method = name
-	acc.HasCoop = coop
-	acc.RevD /= n
-	acc.RevY /= n
-	acc.ResponseMs /= n
-	acc.MemoryMB = stats.MemoryMB() // heap with stream + all results live
-	runtime.KeepAlive(stream)
-	acc.CpRD = int(float64(acc.CpRD)/n + 0.5)
-	acc.CpRY = int(float64(acc.CpRY)/n + 0.5)
-	acc.CoR = int(float64(acc.CoR)/n + 0.5)
-	acc.AcpRt /= n
-	acc.PayRate /= n
-	runtime.KeepAlive(results)
-	return acc, nil
+	if offset == 1 {
+		res.Rows = append(res.Rows, outs[0].off)
+	}
+	n := float64(o.Repeats)
+	for ai, a := range algos {
+		acc := TableRow{Method: a.name, HasCoop: a.coop}
+		for rep := 0; rep < o.Repeats; rep++ {
+			row := rowFromRun(outs[offset+ai*o.Repeats+rep].run, a.name, a.coop)
+			acc.RevD += row.RevD
+			acc.RevY += row.RevY
+			acc.ResponseMs += row.ResponseMs
+			acc.CpRD += row.CpRD
+			acc.CpRY += row.CpRY
+			acc.CoR += row.CoR
+			acc.AcpRt += row.AcpRt
+			acc.PayRate += row.PayRate
+		}
+		acc.RevD /= n
+		acc.RevY /= n
+		acc.ResponseMs /= n
+		acc.MemoryMB = stats.MemoryMB() // heap with stream + all results live
+		acc.CpRD = int(float64(acc.CpRD)/n + 0.5)
+		acc.CpRY = int(float64(acc.CpRY)/n + 0.5)
+		acc.CoR = int(float64(acc.CoR)/n + 0.5)
+		acc.AcpRt /= n
+		acc.PayRate /= n
+		res.Rows = append(res.Rows, acc)
+	}
+	runtime.KeepAlive(stream) // keep the input inside the memory measurement
+	runtime.KeepAlive(outs)
+	return res, nil
 }
 
 func runOff(stream *core.Stream, solver platform.OfflineSolver) (TableRow, error) {
@@ -222,20 +228,6 @@ func runOff(stream *core.Stream, solver platform.OfflineSolver) (TableRow, error
 	if nReq > 0 {
 		row.ResponseMs = float64(elapsed) / float64(time.Millisecond) / float64(nReq)
 	}
-	return row, nil
-}
-
-func runOnline(stream *core.Stream, name string, factory platform.MatcherFactory, coop bool, seed int64) (TableRow, error) {
-	run, err := platform.Run(stream, factory, platform.Config{Seed: seed})
-	if err != nil {
-		return TableRow{}, err
-	}
-	if err := run.Validate(); err != nil {
-		return TableRow{}, fmt.Errorf("%s produced invalid matching: %w", name, err)
-	}
-	row := rowFromRun(run, name, coop)
-	row.MemoryMB = stats.MemoryMB()
-	runtime.KeepAlive(stream) // keep the input in the memory measurement
 	return row, nil
 }
 

@@ -16,6 +16,9 @@ type ValueDistOptions struct {
 	Radius            float64
 	Repeats           int
 	Seed              int64
+	// Runner fans the (distribution × algorithm × repeat) unit runs
+	// across a worker pool; nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *ValueDistOptions) withDefaults() ValueDistOptions {
@@ -87,38 +90,55 @@ func (r *ValueDistResult) Table() *stats.Table {
 func RunValueDist(opts ValueDistOptions) (*ValueDistResult, error) {
 	o := opts.withDefaults()
 	res := &ValueDistResult{Opts: o}
-	for _, dist := range []string{"real", "normal"} {
+	dists := []string{"real", "normal"}
+	algoNames := []string{platform.AlgTOTA, platform.AlgDemCOM, platform.AlgRamCOM}
+	cfgs := make([]workload.Config, len(dists))
+	for di, dist := range dists {
 		cfg, err := workload.Synthetic(o.Requests, o.Workers, o.Radius, dist)
 		if err != nil {
 			return nil, err
 		}
-		maxV := cfg.MaxValue()
-		algos := []struct {
-			name    string
-			factory platform.MatcherFactory
-		}{
-			{platform.AlgTOTA, platform.TOTAFactory()},
-			{platform.AlgDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)},
-			{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{})},
+		cfgs[di] = cfg
+	}
+	factoryFor := func(cfg workload.Config, name string) platform.MatcherFactory {
+		switch name {
+		case platform.AlgDemCOM:
+			return platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)
+		case platform.AlgRamCOM:
+			return platform.RamCOMFactory(cfg.MaxValue(), platform.RamCOMOptions{})
+		default:
+			return platform.TOTAFactory()
 		}
-		for _, a := range algos {
-			row := ValueDistRow{Algorithm: a.name, Dist: dist}
-			for rep := 0; rep < o.Repeats; rep++ {
-				seed := o.Seed + int64(rep)*4447
-				stream, err := workload.Generate(cfg, seed)
-				if err != nil {
-					return nil, err
-				}
-				run, err := platform.Run(stream, a.factory, platform.Config{Seed: seed})
-				if err != nil {
-					return nil, err
-				}
+	}
+
+	// One unit run per (distribution, algorithm, repeat), flattened in
+	// that order; streams regenerate per job from (config, seed).
+	nAlgos, nReps := len(algoNames), o.Repeats
+	runs, err := runAll(o.Runner, len(dists)*nAlgos*nReps, func(i int) (*platform.Result, error) {
+		di, rest := i/(nAlgos*nReps), i%(nAlgos*nReps)
+		ai, rep := rest/nReps, rest%nReps
+		seed := o.Seed + int64(rep)*4447
+		stream, err := workload.Generate(cfgs[di], seed)
+		if err != nil {
+			return nil, err
+		}
+		return platform.Run(stream, factoryFor(cfgs[di], algoNames[ai]),
+			o.Runner.simConfig(seed, false, "valuedist/"+dists[di]+"/"+algoNames[ai]))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for di, dist := range dists {
+		for ai, name := range algoNames {
+			row := ValueDistRow{Algorithm: name, Dist: dist}
+			for rep := 0; rep < nReps; rep++ {
+				run := runs[di*nAlgos*nReps+ai*nReps+rep]
 				row.Revenue += run.TotalRevenue()
 				row.Served += float64(run.TotalServed())
 				row.AcptRatio += run.AcceptanceRatio()
 				row.PayRate += run.MeanPaymentRate()
 			}
-			n := float64(o.Repeats)
+			n := float64(nReps)
 			row.Revenue /= n
 			row.Served /= n
 			row.AcptRatio /= n

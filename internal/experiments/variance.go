@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"crossmatch/internal/core"
 	"crossmatch/internal/platform"
 	"crossmatch/internal/pricing"
 	"crossmatch/internal/stats"
@@ -17,6 +16,9 @@ type VarianceOptions struct {
 	// Seeds is how many independent seeds to measure (default 12).
 	Seeds int
 	Seed  int64
+	// Runner fans the (algorithm × seed) unit runs across a worker pool;
+	// nil uses GOMAXPROCS.
+	Runner *Runner
 }
 
 func (o *VarianceOptions) withDefaults() VarianceOptions {
@@ -82,12 +84,6 @@ func RunVariance(opts VarianceOptions) (*VarianceResult, error) {
 		return nil, err
 	}
 	maxV := cfg.MaxValue()
-	seeds := make([]int64, o.Seeds)
-	for i := range seeds {
-		seeds[i] = o.Seed + int64(i)*6367
-	}
-	gen := func(int64) (*core.Stream, error) { return stream, nil }
-
 	res := &VarianceResult{Opts: o}
 	algos := []struct {
 		name    string
@@ -97,12 +93,19 @@ func RunVariance(opts VarianceOptions) (*VarianceResult, error) {
 		{platform.AlgDemCOM, platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)},
 		{platform.AlgRamCOM, platform.RamCOMFactory(maxV, platform.RamCOMOptions{})},
 	}
-	for _, a := range algos {
-		runs, err := platform.RunEnsemble(gen, a.factory, platform.Config{}, seeds, 0)
-		if err != nil {
-			return nil, err
-		}
-		sum, err := platform.Summarize(runs)
+	// All (algorithm × seed) unit runs share the read-only stream and
+	// fan out together; run (ai, si) lands at ai*Seeds + si, so each
+	// algorithm's ensemble summarizes over its seeds in order.
+	runs, err := runAll(o.Runner, len(algos)*o.Seeds, func(i int) (*platform.Result, error) {
+		a := algos[i/o.Seeds]
+		seed := o.Seed + int64(i%o.Seeds)*6367
+		return platform.Run(stream, a.factory, o.Runner.simConfig(seed, false, "variance/"+a.name))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, a := range algos {
+		sum, err := platform.Summarize(runs[ai*o.Seeds : (ai+1)*o.Seeds])
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,174 @@
+// Package metrics is the observability layer of the simulation engine:
+// lock-free counters for the matching funnel (inner/outer matches,
+// cooperative attempts, acceptance probes, rejections) and per-label
+// decision-latency distributions built on stats.Reservoir.
+//
+// One Collector is shared by every platform of a run — or by every run
+// of a whole experiment — so all methods are safe for concurrent use and
+// a nil *Collector is a no-op everywhere, keeping the instrumented hot
+// paths free of conditionals at the call sites.
+package metrics
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossmatch/internal/stats"
+)
+
+// Collector accumulates counters and latency distributions.
+// The zero value is not usable; call New.
+type Collector struct {
+	innerMatches atomic.Int64
+	outerMatches atomic.Int64
+	rejections   atomic.Int64
+	coopAttempts atomic.Int64
+	probes       atomic.Int64
+	runs         atomic.Int64
+
+	mu      sync.Mutex
+	latency map[string]*stats.Reservoir
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	return &Collector{latency: make(map[string]*stats.Reservoir)}
+}
+
+// MatchInner records a request served by an inner worker.
+func (c *Collector) MatchInner() {
+	if c != nil {
+		c.innerMatches.Add(1)
+	}
+}
+
+// MatchOuter records an accepted cooperative request.
+func (c *Collector) MatchOuter() {
+	if c != nil {
+		c.outerMatches.Add(1)
+	}
+}
+
+// Reject records an unserved request.
+func (c *Collector) Reject() {
+	if c != nil {
+		c.rejections.Add(1)
+	}
+}
+
+// CoopAttempt records a request offered to outer workers.
+func (c *Collector) CoopAttempt() {
+	if c != nil {
+		c.coopAttempts.Add(1)
+	}
+}
+
+// AddProbes records n worker acceptance probes.
+func (c *Collector) AddProbes(n int) {
+	if c != nil && n > 0 {
+		c.probes.Add(int64(n))
+	}
+}
+
+// RunStarted records one simulation run feeding the collector.
+func (c *Collector) RunStarted() {
+	if c != nil {
+		c.runs.Add(1)
+	}
+}
+
+// ObserveLatency folds one decision latency into the label's
+// distribution (labels are typically per platform, e.g. "platform-1").
+func (c *Collector) ObserveLatency(label string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	r, ok := c.latency[label]
+	if !ok {
+		// Seed the reservoir from the label so percentile sampling is
+		// reproducible run-to-run for the same label set.
+		h := fnv.New64a()
+		io.WriteString(h, label)
+		r = stats.NewReservoir(0, int64(h.Sum64()))
+		c.latency[label] = r
+	}
+	r.Observe(d)
+	c.mu.Unlock()
+}
+
+// Counters is the counter section of a Report.
+type Counters struct {
+	Runs             int64 `json:"runs"`
+	InnerMatches     int64 `json:"inner_matches"`
+	OuterMatches     int64 `json:"outer_matches"`
+	Rejections       int64 `json:"rejections"`
+	CoopAttempts     int64 `json:"coop_attempts"`
+	AcceptanceProbes int64 `json:"acceptance_probes"`
+}
+
+// LatencySummary is one label's latency distribution in a Report.
+type LatencySummary struct {
+	Label   string  `json:"label"`
+	Count   int64   `json:"count"`
+	MeanMs  float64 `json:"mean_ms"`
+	P50Ms   float64 `json:"p50_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	P99Ms   float64 `json:"p99_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	TotalMs float64 `json:"total_ms"`
+}
+
+// Report is the machine-readable snapshot of a collector
+// (the schema behind combench's -metrics flag; see EXPERIMENTS.md).
+type Report struct {
+	Counters  Counters         `json:"counters"`
+	Latencies []LatencySummary `json:"latencies"`
+}
+
+// Snapshot returns a consistent copy of the collector's state, latency
+// labels sorted for stable output.
+func (c *Collector) Snapshot() Report {
+	if c == nil {
+		return Report{}
+	}
+	rep := Report{Counters: Counters{
+		Runs:             c.runs.Load(),
+		InnerMatches:     c.innerMatches.Load(),
+		OuterMatches:     c.outerMatches.Load(),
+		Rejections:       c.rejections.Load(),
+		CoopAttempts:     c.coopAttempts.Load(),
+		AcceptanceProbes: c.probes.Load(),
+	}}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	c.mu.Lock()
+	for label, r := range c.latency {
+		rep.Latencies = append(rep.Latencies, LatencySummary{
+			Label:   label,
+			Count:   r.Count(),
+			MeanMs:  ms(r.Mean()),
+			P50Ms:   ms(r.Percentile(0.50)),
+			P95Ms:   ms(r.Percentile(0.95)),
+			P99Ms:   ms(r.Percentile(0.99)),
+			MaxMs:   ms(r.Max()),
+			TotalMs: ms(r.Sum()),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(rep.Latencies, func(i, j int) bool {
+		return rep.Latencies[i].Label < rep.Latencies[j].Label
+	})
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

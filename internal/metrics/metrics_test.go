@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.MatchInner()
+	c.MatchOuter()
+	c.Reject()
+	c.CoopAttempt()
+	c.AddProbes(5)
+	c.RunStarted()
+	c.ObserveLatency("x", time.Millisecond)
+	if rep := c.Snapshot(); rep.Counters != (Counters{}) || len(rep.Latencies) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", rep)
+	}
+}
+
+func TestCountersAndLatency(t *testing.T) {
+	c := New()
+	c.RunStarted()
+	c.MatchInner()
+	c.MatchInner()
+	c.MatchOuter()
+	c.Reject()
+	c.CoopAttempt()
+	c.AddProbes(7)
+	c.AddProbes(0) // ignored
+	c.ObserveLatency("platform-1", 2*time.Millisecond)
+	c.ObserveLatency("platform-1", 4*time.Millisecond)
+	c.ObserveLatency("platform-2", time.Millisecond)
+
+	rep := c.Snapshot()
+	want := Counters{Runs: 1, InnerMatches: 2, OuterMatches: 1, Rejections: 1, CoopAttempts: 1, AcceptanceProbes: 7}
+	if rep.Counters != want {
+		t.Errorf("counters = %+v, want %+v", rep.Counters, want)
+	}
+	if len(rep.Latencies) != 2 {
+		t.Fatalf("latency labels = %d, want 2", len(rep.Latencies))
+	}
+	// Sorted by label.
+	if rep.Latencies[0].Label != "platform-1" || rep.Latencies[1].Label != "platform-2" {
+		t.Errorf("labels unsorted: %v, %v", rep.Latencies[0].Label, rep.Latencies[1].Label)
+	}
+	p1 := rep.Latencies[0]
+	if p1.Count != 2 || p1.MeanMs != 3 || p1.MaxMs != 4 || p1.TotalMs != 6 {
+		t.Errorf("platform-1 summary = %+v", p1)
+	}
+}
+
+// Concurrent increments from many goroutines must tally exactly and stay
+// race-free (this test is the -race canary for the engine's counters).
+func TestConcurrentCollect(t *testing.T) {
+	c := New()
+	const goroutines, per = 16, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			label := "platform-1"
+			if g%2 == 1 {
+				label = "platform-2"
+			}
+			for i := 0; i < per; i++ {
+				c.MatchInner()
+				c.AddProbes(2)
+				c.ObserveLatency(label, time.Duration(i)*time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := c.Snapshot()
+	if rep.Counters.InnerMatches != goroutines*per {
+		t.Errorf("inner = %d, want %d", rep.Counters.InnerMatches, goroutines*per)
+	}
+	if rep.Counters.AcceptanceProbes != 2*goroutines*per {
+		t.Errorf("probes = %d, want %d", rep.Counters.AcceptanceProbes, 2*goroutines*per)
+	}
+	total := int64(0)
+	for _, l := range rep.Latencies {
+		total += l.Count
+	}
+	if total != goroutines*per {
+		t.Errorf("latency observations = %d, want %d", total, goroutines*per)
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	c := New()
+	c.MatchInner()
+	c.ObserveLatency("platform-1", time.Millisecond)
+	var buf bytes.Buffer
+	if err := c.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"inner_matches", "acceptance_probes", "p95_ms"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+}

@@ -74,19 +74,21 @@ func (m *DemCOM) RequestArrives(r *core.Request) Decision {
 	}
 
 	// Lines 15-20: probe each eligible worker's willingness at v'.
+	probes := len(cands)
 	accepting := probeAccepting(cands, payment, m.rng)
 	if len(accepting) == 0 {
-		return Decision{CoopAttempted: true} // line 26
+		return Decision{CoopAttempted: true, Probes: probes} // line 26
 	}
 
 	// Lines 21-24: nearest accepting worker, claimed atomically.
 	best, ok := claimNearestAccepting(m.coop, accepting, r)
 	if !ok {
-		return Decision{CoopAttempted: true}
+		return Decision{CoopAttempted: true, Probes: probes}
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
+		Probes:        probes,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,

@@ -68,6 +68,10 @@ type Decision struct {
 	// whether any accepted. AcpRt in the evaluation is
 	// served-cooperative / attempted-cooperative.
 	CoopAttempted bool
+	// Probes counts the worker acceptance probes issued while deciding
+	// this request (Algorithm 1 lines 17-20 / Algorithm 3's reuse of
+	// them); the observability layer aggregates it across runs.
+	Probes int
 }
 
 // Matcher is an online matching algorithm bound to one platform.

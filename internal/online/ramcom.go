@@ -116,6 +116,7 @@ func (m *RamCOM) RequestArrives(r *core.Request) Decision {
 		return Decision{
 			Served:        true,
 			CoopAttempted: d.CoopAttempted,
+			Probes:        d.Probes,
 			Assignment:    core.Assignment{Request: r, Worker: w},
 		}
 	} else {
@@ -139,17 +140,19 @@ func (m *RamCOM) tryOuter(r *core.Request) (Decision, bool) {
 		return Decision{CoopAttempted: true}, false
 	}
 
+	probes := len(cands)
 	accepting := probeAccepting(cands, payment, m.rng)
 	if len(accepting) == 0 {
-		return Decision{CoopAttempted: true}, false
+		return Decision{CoopAttempted: true, Probes: probes}, false
 	}
 	best, claimed := claimNearestAccepting(m.coop, accepting, r)
 	if !claimed {
-		return Decision{CoopAttempted: true}, false
+		return Decision{CoopAttempted: true, Probes: probes}, false
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
+		Probes:        probes,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,

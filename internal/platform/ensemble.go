@@ -3,10 +3,9 @@ package platform
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/parallel"
 )
 
 // RunEnsemble executes one independent simulation per seed, in parallel,
@@ -26,52 +25,20 @@ func RunEnsemble(gen func(seed int64) (*core.Stream, error), factory MatcherFact
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("platform: no seeds")
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(seeds) {
-		parallelism = len(seeds)
-	}
-
-	results := make([]*Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	next := make(chan int)
-
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				seed := seeds[i]
-				stream, err := gen(seed)
-				if err != nil {
-					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
-					continue
-				}
-				cfg := base
-				cfg.Seed = seed
-				res, err := Run(stream, factory, cfg)
-				if err != nil {
-					errs[i] = fmt.Errorf("seed %d: %w", seed, err)
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range seeds {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-
-	for _, err := range errs {
+	return parallel.Map(parallelism, len(seeds), func(i int) (*Result, error) {
+		seed := seeds[i]
+		stream, err := gen(seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
 		}
-	}
-	return results, nil
+		cfg := base
+		cfg.Seed = seed
+		res, err := Run(stream, factory, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		return res, nil
+	})
 }
 
 // EnsembleSummary aggregates an ensemble's headline metrics.

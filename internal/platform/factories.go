@@ -1,12 +1,18 @@
 package platform
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/online"
 	"crossmatch/internal/pricing"
 )
+
+// ErrUnknownAlgorithm is the sentinel wrapped by FactoryFor for names
+// that match no online matcher; match it with errors.Is.
+var ErrUnknownAlgorithm = errors.New("unknown algorithm")
 
 // Algorithm names used across the experiment harness and CLIs.
 const (
@@ -71,16 +77,26 @@ func RamCOMFactory(maxValue float64, opts RamCOMOptions) MatcherFactory {
 // ok=false for unknown names (including AlgOFF, which is not an online
 // matcher — use Offline).
 func FactoryByName(name string, maxValue float64) (MatcherFactory, bool) {
+	f, err := FactoryFor(name, maxValue)
+	return f, err == nil
+}
+
+// FactoryFor is FactoryByName with a typed error: unknown names
+// (including AlgOFF, which is not an online matcher — use Offline)
+// return an error wrapping ErrUnknownAlgorithm that names the
+// acceptable algorithms.
+func FactoryFor(name string, maxValue float64) (MatcherFactory, error) {
 	switch name {
 	case AlgTOTA:
-		return TOTAFactory(), true
+		return TOTAFactory(), nil
 	case AlgGreedyRT:
-		return GreedyRTFactory(maxValue), true
+		return GreedyRTFactory(maxValue), nil
 	case AlgDemCOM:
-		return DemCOMFactory(pricing.DefaultMonteCarlo, false), true
+		return DemCOMFactory(pricing.DefaultMonteCarlo, false), nil
 	case AlgRamCOM:
-		return RamCOMFactory(maxValue, RamCOMOptions{}), true
+		return RamCOMFactory(maxValue, RamCOMOptions{}), nil
 	default:
-		return nil, false
+		return nil, fmt.Errorf("platform: %w %q (want %s, %s, %s or %s)",
+			ErrUnknownAlgorithm, name, AlgTOTA, AlgGreedyRT, AlgDemCOM, AlgRamCOM)
 	}
 }

@@ -2,11 +2,14 @@ package platform
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/pprof"
 	"time"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 	"crossmatch/internal/stats"
 )
@@ -36,6 +39,15 @@ type Config struct {
 	// DisableCoop turns off worker sharing: COM algorithms degrade to
 	// TOTA (the degradation ablation).
 	DisableCoop bool
+	// Metrics, when non-nil, receives the run's matching-funnel counters
+	// (inner/outer matches, cooperative attempts, acceptance probes,
+	// rejections) and per-platform decision-latency observations. The
+	// collector is safe to share across concurrent runs.
+	Metrics *metrics.Collector
+	// ProfileLabel, when non-empty, tags the run's goroutine with a
+	// "crossmatch.run" pprof label so CPU profiles of a parallel
+	// experiment attribute samples to individual runs.
+	ProfileLabel string
 }
 
 // PlatformResult aggregates one platform's outcomes.
@@ -138,6 +150,31 @@ func (r *Result) Validate() error {
 // through a shared hub. The factory is called once per platform present
 // in the stream.
 func Run(stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), stream, factory, cfg)
+}
+
+// cancelCheckMask throttles the context poll in the event loop: the
+// ctx.Err() call costs more than a cheap decision, so it runs every 64
+// events. Cancellation latency stays far below any human timeout.
+const cancelCheckMask = 63
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// mid-stream, the simulation stops at the next event boundary and
+// returns the partial Result accumulated so far alongside an error
+// wrapping ctx.Err() (test with errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded). The run is single-goroutine, so
+// cancellation leaks nothing.
+func RunContext(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (res *Result, err error) {
+	if cfg.ProfileLabel != "" {
+		pprof.Do(ctx, pprof.Labels("crossmatch.run", cfg.ProfileLabel), func(ctx context.Context) {
+			res, err = runContext(ctx, stream, factory, cfg)
+		})
+		return res, err
+	}
+	return runContext(ctx, stream, factory, cfg)
+}
+
+func runContext(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
 	hub := NewHub()
 	hub.CoopDisabled = cfg.DisableCoop
 	res := &Result{Platforms: map[core.PlatformID]*PlatformResult{}}
@@ -161,6 +198,16 @@ func Run(stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, erro
 		}
 	}
 
+	cfg.Metrics.RunStarted()
+	// Per-platform latency labels are built once; the hot loop must not
+	// format strings.
+	labels := map[core.PlatformID]string{}
+	if cfg.Metrics != nil {
+		for _, pid := range stream.Platforms() {
+			labels[pid] = fmt.Sprintf("platform-%d", pid)
+		}
+	}
+
 	// Pending worker re-arrivals (recycling), ordered by time.
 	var recycle recycleHeap
 	nextRecycledID := maxWorkerID(stream) + 1
@@ -173,7 +220,14 @@ func Run(stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, erro
 		return nil
 	}
 
-	for _, e := range stream.Events() {
+	for i, e := range stream.Events() {
+		if i&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				res.Lent = hub.Lent()
+				return res, fmt.Errorf("platform: run stopped after %d of %d events: %w",
+					i, stream.Len(), err)
+			}
+		}
 		// Flush recycled workers due before this event.
 		for len(recycle) > 0 && recycle[0].Arrival <= e.Time {
 			w := heap.Pop(&recycle).(*core.Worker)
@@ -199,6 +253,21 @@ func Run(stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, erro
 			}
 			pr.Latency.Observe(el)
 			pr.Stats.Observe(d)
+			if m := cfg.Metrics; m != nil {
+				m.ObserveLatency(labels[e.Request.Platform], el)
+				m.AddProbes(d.Probes)
+				if d.CoopAttempted {
+					m.CoopAttempt()
+				}
+				switch {
+				case d.Served && d.Assignment.Outer:
+					m.MatchOuter()
+				case d.Served:
+					m.MatchInner()
+				default:
+					m.Reject()
+				}
+			}
 			if d.Served {
 				if err := pr.Matching.Add(d.Assignment); err != nil {
 					return nil, fmt.Errorf("platform %d: %w", e.Request.Platform, err)

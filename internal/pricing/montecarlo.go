@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+
+	"crossmatch/internal/parallel"
 )
 
 // MonteCarlo estimates the minimum outer payment of a cooperative
@@ -76,6 +79,59 @@ func (mc MonteCarlo) MinOuterPayment(value float64, group []*History, rng *rand.
 		return value + epsilonFor(value), nil
 	}
 
+	// The n_s instances are independent, so they split into mcShards
+	// chunks, each driven by its own sub-RNG whose seed is pre-drawn from
+	// the caller's rng. The seeds are always drawn, in shard order, for
+	// the full fixed shard count — never a machine-dependent one — so the
+	// estimate (and the caller's rng state afterwards) is identical
+	// whether the shards execute serially or across GOMAXPROCS cores.
+	ns := mc.Instances()
+	seeds := make([]int64, mcShards)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	workers := 1
+	if ns >= mcParallelMin && runtime.GOMAXPROCS(0) > 1 {
+		workers = 0 // let the pool use GOMAXPROCS
+	}
+	sums, err := parallel.Map(workers, mcShards, func(shard int) (float64, error) {
+		lo, hi := shard*ns/mcShards, (shard+1)*ns/mcShards
+		return mc.sampleInstances(value, group, hi-lo, rand.New(rand.NewSource(seeds[shard]))), nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range sums {
+		sum += s
+	}
+	est := sum / float64(ns)
+	// No payment below the cheapest value any group member ever accepted
+	// can attract anyone (Definition 3.1 gives it probability zero), so
+	// the minimum outer payment is clamped up to that exact floor. The
+	// dichotomy's v_l can undershoot it by up to Xi*value.
+	if floor := groupFloor(group); est < floor {
+		est = floor
+	}
+	return est, nil
+}
+
+// mcShards is the number of sub-streams the sampling instances split
+// into. It is a fixed constant, not GOMAXPROCS: the shard seeds are part
+// of the deterministic RNG consumption, so tying the count to the
+// machine would make estimates machine-dependent. 8 shards keep the
+// per-shard chunk large enough (24 instances at the default n_s = 192)
+// that goroutine overhead stays well below the sampling work.
+const mcShards = 8
+
+// mcParallelMin is the instance count below which the shards run inline:
+// tiny configurations are dominated by fan-out overhead.
+const mcParallelMin = 64
+
+// sampleInstances runs n independent sampling instances of Algorithm 2
+// against group and returns the sum of their contributions. rng is
+// private to the call, making shards independent and order-free.
+func (mc MonteCarlo) sampleInstances(value float64, group []*History, n int, rng *rand.Rand) float64 {
 	anyAccepts := func(payment float64) bool {
 		for _, h := range group {
 			if h.Accepts(payment, rng) {
@@ -84,11 +140,9 @@ func (mc MonteCarlo) MinOuterPayment(value float64, group []*History, rng *rand.
 		}
 		return false
 	}
-
-	ns := mc.Instances()
 	eps := epsilonFor(value)
 	sum := 0.0
-	for i := 0; i < ns; i++ {
+	for i := 0; i < n; i++ {
 		if !anyAccepts(value) {
 			sum += value + eps
 			continue
@@ -112,15 +166,7 @@ func (mc MonteCarlo) MinOuterPayment(value float64, group []*History, rng *rand.
 		// platform offers the least it might get away with.
 		sum += vl
 	}
-	est := sum / float64(ns)
-	// No payment below the cheapest value any group member ever accepted
-	// can attract anyone (Definition 3.1 gives it probability zero), so
-	// the minimum outer payment is clamped up to that exact floor. The
-	// dichotomy's v_l can undershoot it by up to Xi*value.
-	if floor := groupFloor(group); est < floor {
-		est = floor
-	}
-	return est, nil
+	return sum
 }
 
 // groupFloor returns the smallest payment with non-zero group acceptance

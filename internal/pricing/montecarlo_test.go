@@ -3,6 +3,7 @@ package pricing
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -140,6 +141,32 @@ func TestMinOuterPaymentDeterministicSeed(t *testing.T) {
 	}
 	if a != b {
 		t.Errorf("same seed, different estimates: %v vs %v", a, b)
+	}
+}
+
+// The sharded estimator must produce bit-identical results regardless of
+// how many cores execute the shards: the sub-RNG seeds are pre-drawn in
+// shard order, so parallelism is an execution detail, not a random
+// stream. The caller's rng must also land in the same state.
+func TestMinOuterPaymentGOMAXPROCSInvariant(t *testing.T) {
+	h := MustHistory([]float64{1, 4, 6, 9})
+	run := func(procs int) (est, nextDraw float64) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		rng := rand.New(rand.NewSource(123))
+		got, err := DefaultMonteCarlo.MinOuterPayment(10, []*History{h}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got, rng.Float64()
+	}
+	estSerial, drawSerial := run(1)
+	estPar, drawPar := run(8)
+	if estSerial != estPar {
+		t.Errorf("estimate differs across GOMAXPROCS: %v vs %v", estSerial, estPar)
+	}
+	if drawSerial != drawPar {
+		t.Errorf("caller rng state differs across GOMAXPROCS: %v vs %v", drawSerial, drawPar)
 	}
 }
 

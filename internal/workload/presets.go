@@ -1,11 +1,17 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"crossmatch/internal/core"
 )
+
+// ErrUnknownPreset is the sentinel wrapped by PresetFor and
+// PresetConfig for dataset codes that match no preset; match it with
+// errors.Is.
+var ErrUnknownPreset = errors.New("unknown preset")
 
 // Preset names the six real-dataset substitutes of Table III. Each
 // preset describes a *pair* of platforms (DiDi-like = platform 1,
@@ -43,6 +49,34 @@ func PresetByName(name string) (Preset, bool) {
 	return Preset{}, false
 }
 
+// PresetFor is PresetByName with a typed error: unknown codes return an
+// error wrapping ErrUnknownPreset that lists the known presets.
+func PresetFor(name string) (Preset, error) {
+	p, ok := PresetByName(name)
+	if !ok {
+		return Preset{}, fmt.Errorf("workload: %w %q (want one of %v)", ErrUnknownPreset, name, PresetNames())
+	}
+	return p, nil
+}
+
+// PresetConfig resolves a preset by name and scales it in one step — the
+// shared preset-lookup path of the public API and the CLIs.
+func PresetConfig(name string, scale float64) (Config, error) {
+	p, err := PresetFor(name)
+	if err != nil {
+		return Config{}, err
+	}
+	return p.Config(scale)
+}
+
+// SyntheticPreset wraps the Table IV synthetic defaults in a Preset so
+// harnesses that operate on presets (RunTable, the parallel-runner
+// benchmarks) can target the synthetic workload too. It is not listed by
+// Presets — the paper's tables are the city datasets.
+func SyntheticPreset() Preset {
+	return Preset{Name: "SYN2500+500", City: "synthetic", R1: 1250, W1: 250, R2: 1250, W2: 250, Radius: 1.0}
+}
+
 // PresetNames returns the dataset codes in canonical order.
 func PresetNames() []string {
 	ps := Presets()
@@ -61,12 +95,18 @@ func (p Preset) Config(scale float64) (Config, error) {
 	if scale <= 0 || scale > 1 {
 		return Config{}, fmt.Errorf("workload: scale %v outside (0, 1]", scale)
 	}
+	appearances := PresetAppearances
 	var pair CityPair
 	switch p.City {
 	case "chengdu":
 		pair = ChengduPair()
 	case "xian":
 		pair = XianPair()
+	case "synthetic":
+		// The Table IV synthetic city: Chengdu-like geography with the
+		// sweeps' lower re-appearance count (see SyntheticAppearances).
+		pair = ChengduPair()
+		appearances = SyntheticAppearances
 	default:
 		return Config{}, fmt.Errorf("workload: unknown city %q", p.City)
 	}
@@ -87,7 +127,7 @@ func (p Preset) Config(scale float64) (Config, error) {
 			RequestSpatial: reqSp,
 			WorkerSpatial:  workSp,
 			Values:         values,
-			Appearances:    PresetAppearances,
+			Appearances:    appearances,
 		}
 	}
 	return Config{Platforms: []PlatformSpec{

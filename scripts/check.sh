@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full pre-merge gate: vet, build, race-enabled tests, short benches.
+# Usage: scripts/check.sh  (or `make check`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> short benchmarks (1 iteration each)"
+go test -run '^$' -bench 'BenchmarkTable(Sequential|Parallel)$' -benchtime 1x .
+
+echo "==> OK"
