@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench check clean
+.PHONY: build vet test race bench check clean
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...

@@ -121,11 +121,12 @@ func GenerateCity(preset string, scale float64, seed int64) (*Stream, error) {
 type Option func(*simConfig)
 
 type simConfig struct {
-	seed         int64
-	disableCoop  bool
-	serviceTicks Time
-	metrics      *Metrics
-	profileLabel string
+	seed             int64
+	disableCoop      bool
+	serviceTicks     Time
+	platformParallel bool
+	metrics          *Metrics
+	profileLabel     string
 }
 
 // WithSeed roots all of the run's randomness; the same seed and stream
@@ -146,6 +147,16 @@ func WithCoopDisabled() Option {
 // generators produce).
 func WithServiceTicks(ticks Time) Option {
 	return func(c *simConfig) { c.serviceTicks = ticks }
+}
+
+// WithPlatformParallel runs every platform's event stream on its own
+// goroutine, cooperating through the race-safe hub — the paper's
+// deployment model of independent platform services. Matchings stay
+// valid and revenue accounting exact, but results are no longer
+// bit-reproducible for a fixed seed: cross-platform claim races resolve
+// by scheduling. Leave unset for the deterministic sequential runtime.
+func WithPlatformParallel() Option {
+	return func(c *simConfig) { c.platformParallel = true }
 }
 
 // WithMetrics attaches a collector that tallies matches, rejections,
@@ -175,11 +186,12 @@ func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
 	return platform.RunContext(ctx, stream, factory, platform.Config{
-		Seed:         c.seed,
-		DisableCoop:  c.disableCoop,
-		ServiceTicks: c.serviceTicks,
-		Metrics:      c.metrics,
-		ProfileLabel: c.profileLabel,
+		Seed:             c.seed,
+		DisableCoop:      c.disableCoop,
+		ServiceTicks:     c.serviceTicks,
+		PlatformParallel: c.platformParallel,
+		Metrics:          c.metrics,
+		ProfileLabel:     c.profileLabel,
 	})
 }
 

@@ -37,10 +37,11 @@ func main() {
 		csvOut      = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		plot        = flag.Bool("plot", false, "render figure series as ASCII charts alongside the tables")
 		par         = flag.Int("par", 0, "worker-pool size for unit runs (0 = GOMAXPROCS, 1 = sequential)")
+		platpar     = flag.Bool("platpar", false, "run each simulation with one goroutine per platform (results valid but not bit-reproducible)")
 		metricsPath = flag.String("metrics", "", "write an aggregate metrics report as JSON to this file ('-' = stderr)")
 	)
 	flag.Parse()
-	runner := &experiments.Runner{Parallelism: *par}
+	runner := &experiments.Runner{Parallelism: *par, PlatformParallel: *platpar}
 	if *metricsPath != "" {
 		runner.Metrics = metrics.New()
 	}

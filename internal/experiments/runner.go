@@ -28,6 +28,12 @@ type Runner struct {
 	// decision-latency distributions of every unit run (see
 	// internal/metrics); it also switches on per-run pprof labels.
 	Metrics *metrics.Collector
+	// PlatformParallel runs each unit simulation with one goroutine per
+	// platform (platform.Config.PlatformParallel). The determinism
+	// guarantee above no longer holds for the algorithm columns: event
+	// interleaving across platforms depends on scheduling. Off by
+	// default.
+	PlatformParallel bool
 }
 
 // Sequential returns a runner that executes unit runs inline, one at a
@@ -51,10 +57,20 @@ func (r *Runner) metricsCollector() *metrics.Collector {
 	return r.Metrics
 }
 
+// platformParallel reports whether unit runs use the concurrent
+// per-platform runtime (nil-safe).
+func (r *Runner) platformParallel() bool {
+	if r == nil {
+		return false
+	}
+	return r.PlatformParallel
+}
+
 // simConfig builds the platform.Config for one unit run, threading the
-// collector and, when metrics are on, a pprof label naming the run.
+// runtime choice, the collector and, when metrics are on, a pprof label
+// naming the run.
 func (r *Runner) simConfig(seed int64, disableCoop bool, label string) platform.Config {
-	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop}
+	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop, PlatformParallel: r.platformParallel()}
 	if m := r.metricsCollector(); m != nil {
 		cfg.Metrics = m
 		cfg.ProfileLabel = fmt.Sprintf("%s/seed=%d", label, seed)

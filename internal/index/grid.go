@@ -2,6 +2,7 @@ package index
 
 import (
 	"math"
+	"sort"
 
 	"crossmatch/internal/geo"
 )
@@ -10,14 +11,22 @@ import (
 // cell containing its center; a covering query at point p must inspect
 // every cell whose contents could include a disk covering p, i.e. all
 // cells within the maximum live radius of p. The grid tracks that
-// maximum and widens its search ring accordingly, so correctness never
-// depends on choosing the cell size well — only performance does.
+// maximum exactly in a sorted radius multiset and widens its search ring
+// accordingly, so correctness never depends on choosing the cell size
+// well — only performance does. Keeping the maximum exact (instead of
+// lazily recomputing it after removals) makes Covering strictly
+// read-only, which lets online.Pool serve concurrent coverage queries
+// under a read lock.
 type Grid struct {
-	cell    float64 // cell edge length, km
-	cells   map[cellKey][]Entry
-	where   map[int64]cellKey // entry ID -> its cell
-	maxRad  float64           // maximum radius among live entries
-	radDirt bool              // maxRad may overestimate after removals
+	cell  float64 // cell edge length, km
+	cells map[cellKey][]Entry
+	where map[int64]cellKey // entry ID -> its cell
+	// Sorted multiset of live radii: radVals ascending and distinct,
+	// radCnt the multiplicity of each. The search ring uses the last
+	// element; insert/remove cost O(log d + d) for d distinct radii,
+	// which real workloads keep tiny (radius is per-platform uniform).
+	radVals []float64
+	radCnt  []int
 	n       int
 }
 
@@ -55,11 +64,36 @@ func (g *Grid) Insert(e Entry) {
 	k := g.key(e.Circle.Center)
 	g.cells[k] = append(g.cells[k], e)
 	g.where[e.ID] = k
-	if e.Circle.Radius > g.maxRad {
-		g.maxRad = e.Circle.Radius
-		g.radDirt = false
-	}
+	g.addRad(e.Circle.Radius)
 	g.n++
+}
+
+// addRad records a live entry's radius in the sorted multiset.
+func (g *Grid) addRad(r float64) {
+	i := sort.SearchFloat64s(g.radVals, r)
+	if i < len(g.radVals) && g.radVals[i] == r {
+		g.radCnt[i]++
+		return
+	}
+	g.radVals = append(g.radVals, 0)
+	copy(g.radVals[i+1:], g.radVals[i:])
+	g.radVals[i] = r
+	g.radCnt = append(g.radCnt, 0)
+	copy(g.radCnt[i+1:], g.radCnt[i:])
+	g.radCnt[i] = 1
+}
+
+// removeRad drops one occurrence of a live entry's radius.
+func (g *Grid) removeRad(r float64) {
+	i := sort.SearchFloat64s(g.radVals, r)
+	if i >= len(g.radVals) || g.radVals[i] != r {
+		return // unreachable: every live entry's radius is tracked
+	}
+	g.radCnt[i]--
+	if g.radCnt[i] == 0 {
+		g.radVals = append(g.radVals[:i], g.radVals[i+1:]...)
+		g.radCnt = append(g.radCnt[:i], g.radCnt[i+1:]...)
+	}
 }
 
 // Remove implements Index.
@@ -71,9 +105,7 @@ func (g *Grid) Remove(id int64) bool {
 	bucket := g.cells[k]
 	for i, e := range bucket {
 		if e.ID == id {
-			if e.Circle.Radius == g.maxRad {
-				g.radDirt = true
-			}
+			g.removeRad(e.Circle.Radius)
 			bucket[i] = bucket[len(bucket)-1]
 			bucket = bucket[:len(bucket)-1]
 			break
@@ -86,30 +118,17 @@ func (g *Grid) Remove(id int64) bool {
 	}
 	delete(g.where, id)
 	g.n--
-	if g.n == 0 {
-		g.maxRad = 0
-		g.radDirt = false
-	}
 	return true
 }
 
 // searchRadius returns the radius within which entry centers must be
-// inspected. After removals invalidated the cached maximum, it is
-// recomputed lazily (amortized over the removals that dirtied it).
+// inspected: the exact maximum over live entries, maintained
+// incrementally so queries never mutate the grid.
 func (g *Grid) searchRadius() float64 {
-	if g.radDirt {
-		maxRad := 0.0
-		for _, bucket := range g.cells {
-			for _, e := range bucket {
-				if e.Circle.Radius > maxRad {
-					maxRad = e.Circle.Radius
-				}
-			}
-		}
-		g.maxRad = maxRad
-		g.radDirt = false
+	if len(g.radVals) == 0 {
+		return 0
 	}
-	return g.maxRad
+	return g.radVals[len(g.radVals)-1]
 }
 
 // Covering implements Index.

@@ -13,8 +13,13 @@
 //   - Linear: a brute-force scan used as the correctness oracle in tests
 //     and for tiny instances.
 //
-// Indexes are not safe for concurrent use; the simulation layer owns one
-// index per platform and serializes access through its event loop.
+// Indexes are not safe for unsynchronized mixed use, but Covering and
+// Len are strictly read-only on every implementation (Grid keeps its
+// search radius exact instead of recomputing it lazily; KDTree only
+// mutates on Insert/Remove), so any number of concurrent readers is safe
+// while no writer runs. online.Pool builds on that with an RWMutex to
+// serve the concurrent multi-platform runtime; single-threaded callers
+// need no locking at all.
 package index
 
 import (

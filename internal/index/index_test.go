@@ -322,3 +322,78 @@ func BenchmarkCovering(b *testing.B) {
 		}
 	}
 }
+
+// TestGridSearchRadiusExact white-boxes the radius multiset: the search
+// ring must track the exact live maximum through removals (the lazy
+// dirty-flag recompute it replaced was only exact at query time, which
+// made Covering a writer) and through duplicate-ID re-inserts that
+// change an entry's radius.
+func TestGridSearchRadiusExact(t *testing.T) {
+	g := NewGrid(1)
+	g.Insert(entry(1, 0, 0, 5))
+	g.Insert(entry(2, 8, 0, 2))
+	g.Insert(entry(3, -8, 0, 1))
+	g.Insert(entry(4, 4, 4, 2)) // duplicate radius 2
+	steps := []struct {
+		remove int64
+		want   float64
+	}{
+		{0, 5},  // initial: max of {5,2,1,2}
+		{1, 2},  // drop the 5: max of {2,1,2}
+		{2, 2},  // drop one 2: the other keeps the max
+		{4, 1},  // drop the last 2
+		{3, 0},  // empty
+	}
+	for _, s := range steps {
+		if s.remove != 0 && !g.Remove(s.remove) {
+			t.Fatalf("Remove(%d) = false", s.remove)
+		}
+		if got := g.searchRadius(); got != s.want {
+			t.Fatalf("after removing %d: searchRadius = %v, want %v", s.remove, got, s.want)
+		}
+	}
+
+	// Re-inserting an existing ID with a different radius must swap the
+	// old radius for the new one, not leak either.
+	g.Insert(entry(9, 0, 0, 3))
+	g.Insert(entry(9, 1, 1, 7))
+	if got := g.searchRadius(); got != 7 {
+		t.Fatalf("searchRadius after re-insert = %v, want 7", got)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len after re-insert = %d, want 1", g.Len())
+	}
+	if got := g.Covering(nil, geo.Point{X: 7, Y: 1}); len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("re-inserted entry not found at new radius: %v", ids(got))
+	}
+	g.Remove(9)
+	if got := g.searchRadius(); got != 0 {
+		t.Fatalf("searchRadius after final removal = %v, want 0", got)
+	}
+}
+
+// TestGridCoveringReadOnlyUnderConcurrentReaders hammers Covering from
+// several goroutines with no writer — safe exactly because the search
+// radius is maintained on the write path. Run under -race this guards
+// the invariant online.Pool's RLock depends on.
+func TestGridCoveringReadOnlyUnderConcurrentReaders(t *testing.T) {
+	g := NewGrid(1)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		g.Insert(entry(int64(i+1), rng.Float64()*20, rng.Float64()*20, 0.5+rng.Float64()*3))
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			r := rand.New(rand.NewSource(seed))
+			var buf []Entry
+			for i := 0; i < 2000; i++ {
+				buf = g.Covering(buf[:0], geo.Point{X: r.Float64() * 20, Y: r.Float64() * 20})
+			}
+		}(int64(w))
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}

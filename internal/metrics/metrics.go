@@ -24,12 +24,14 @@ import (
 // Collector accumulates counters and latency distributions.
 // The zero value is not usable; call New.
 type Collector struct {
-	innerMatches atomic.Int64
-	outerMatches atomic.Int64
-	rejections   atomic.Int64
-	coopAttempts atomic.Int64
-	probes       atomic.Int64
-	runs         atomic.Int64
+	innerMatches   atomic.Int64
+	outerMatches   atomic.Int64
+	rejections     atomic.Int64
+	coopAttempts   atomic.Int64
+	probes         atomic.Int64
+	runs           atomic.Int64
+	claimConflicts atomic.Int64
+	claimRetries   atomic.Int64
 
 	mu      sync.Mutex
 	latency map[string]*stats.Reservoir
@@ -75,6 +77,35 @@ func (c *Collector) AddProbes(n int) {
 	}
 }
 
+// ClaimConflict records a cross-platform claim lost to a concurrent
+// assignment — the hub's CAS or pool removal observed the worker already
+// taken. Always zero under the sequential runtime.
+func (c *Collector) ClaimConflict() {
+	if c != nil {
+		c.claimConflicts.Add(1)
+	}
+}
+
+// AddClaimRetries records n retries of the claim loop (a request that
+// lost n claims before settling on a worker or giving up).
+func (c *Collector) AddClaimRetries(n int) {
+	if c != nil && n > 0 {
+		c.claimRetries.Add(int64(n))
+	}
+}
+
+// LockWaitLabel is the latency label under which hub lock-wait
+// observations are reported (see ObserveLockWait).
+const LockWaitLabel = "hub/lock-wait"
+
+// ObserveLockWait folds one hub lock acquisition wait into the
+// LockWaitLabel latency reservoir. The concurrent runtime calls it on
+// the cooperative hot path, so the distribution exposes cross-platform
+// lock contention alongside the per-platform decision latencies.
+func (c *Collector) ObserveLockWait(d time.Duration) {
+	c.ObserveLatency(LockWaitLabel, d)
+}
+
 // RunStarted records one simulation run feeding the collector.
 func (c *Collector) RunStarted() {
 	if c != nil {
@@ -110,6 +141,10 @@ type Counters struct {
 	Rejections       int64 `json:"rejections"`
 	CoopAttempts     int64 `json:"coop_attempts"`
 	AcceptanceProbes int64 `json:"acceptance_probes"`
+	// ClaimConflicts and ClaimRetries measure cross-platform contention
+	// under the concurrent runtime; both stay zero on sequential runs.
+	ClaimConflicts int64 `json:"claim_conflicts"`
+	ClaimRetries   int64 `json:"claim_retries"`
 }
 
 // LatencySummary is one label's latency distribution in a Report.
@@ -144,6 +179,8 @@ func (c *Collector) Snapshot() Report {
 		Rejections:       c.rejections.Load(),
 		CoopAttempts:     c.coopAttempts.Load(),
 		AcceptanceProbes: c.probes.Load(),
+		ClaimConflicts:   c.claimConflicts.Load(),
+		ClaimRetries:     c.claimRetries.Load(),
 	}}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()

@@ -51,8 +51,7 @@ func (m *DemCOM) Pool() *Pool { return m.pool }
 // RequestArrives implements Matcher (Algorithm 1).
 func (m *DemCOM) RequestArrives(r *core.Request) Decision {
 	// Lines 3-6: nearest available inner worker wins outright.
-	if w, ok := m.pool.Nearest(r); ok {
-		m.pool.Remove(w.ID)
+	if w, ok := claimNearestInner(m.pool, r); ok {
 		return Decision{
 			Served:     true,
 			Assignment: core.Assignment{Request: r, Worker: w},
@@ -81,14 +80,15 @@ func (m *DemCOM) RequestArrives(r *core.Request) Decision {
 	}
 
 	// Lines 21-24: nearest accepting worker, claimed atomically.
-	best, ok := claimNearestAccepting(m.coop, accepting, r)
+	best, retries, ok := claimNearestAccepting(m.coop, accepting, r)
 	if !ok {
-		return Decision{CoopAttempted: true, Probes: probes}
+		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries}
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
 		Probes:        probes,
+		ClaimRetries:  retries,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,

@@ -42,10 +42,15 @@ type CoopView interface {
 	// EligibleOuter returns the outer workers able to serve r under all
 	// Definition 2.6 constraints, i.e. unoccupied workers of other
 	// platforms whose service range covers r and who arrived before it.
+	// The returned slice is only valid until the next EligibleOuter call
+	// on the same view: implementations reuse the backing buffer to keep
+	// the hottest cooperative path allocation-free.
 	EligibleOuter(r *core.Request) []Candidate
 	// Claim attempts to take the worker for an assignment, removing it
 	// from every platform's waiting list. It reports false when the
-	// worker was concurrently assigned elsewhere.
+	// worker was concurrently assigned elsewhere — under the concurrent
+	// multi-platform runtime that includes losing a genuine race against
+	// another platform's claim or the owner's own inner assignment.
 	Claim(workerID int64) bool
 }
 
@@ -72,6 +77,12 @@ type Decision struct {
 	// this request (Algorithm 1 lines 17-20 / Algorithm 3's reuse of
 	// them); the observability layer aggregates it across runs.
 	Probes int
+	// ClaimRetries counts cooperative claims lost to another platform
+	// while deciding this request: each one is a retry of Algorithm 1's
+	// claim loop against the next-nearest accepting worker. Always zero
+	// in the sequential runtime; under the concurrent runtime it measures
+	// real cross-platform contention.
+	ClaimRetries int
 }
 
 // Matcher is an online matching algorithm bound to one platform.
@@ -113,7 +124,11 @@ func (s *Stats) Observe(d Decision) {
 	if d.Assignment.Outer {
 		s.ServedOuter++
 		s.PaymentSum += d.Assignment.Payment
-		s.PaymentRate += d.Assignment.Payment / d.Assignment.Request.Value
+		// Guard the rate against degenerate zero-value requests: 0/0
+		// would poison every aggregate built on PaymentRate with NaN.
+		if v := d.Assignment.Request.Value; v > 0 {
+			s.PaymentRate += d.Assignment.Payment / v
+		}
 	} else {
 		s.ServedInner++
 	}
@@ -169,15 +184,19 @@ func nearestCandidate(cands []Candidate, r *core.Request) (Candidate, bool) {
 
 // claimNearestAccepting walks accepting candidates from nearest to
 // farthest, claiming the first still available (Algorithm 1, lines
-// 21-24, hardened against concurrent claims by other platforms).
-func claimNearestAccepting(coop CoopView, cands []Candidate, r *core.Request) (Candidate, bool) {
+// 21-24, hardened against concurrent claims by other platforms). It
+// also reports how many claims were lost on the way — zero in the
+// sequential runtime, the contention signal under the concurrent one.
+func claimNearestAccepting(coop CoopView, cands []Candidate, r *core.Request) (Candidate, int, bool) {
 	remaining := append([]Candidate(nil), cands...)
+	retries := 0
 	for len(remaining) > 0 {
 		best, _ := nearestCandidate(remaining, r)
 		if coop.Claim(best.Worker.ID) {
-			return best, true
+			return best, retries, true
 		}
 		// Claimed elsewhere between eligibility and now; drop and retry.
+		retries++
 		for i, c := range remaining {
 			if c.Worker.ID == best.Worker.ID {
 				remaining = append(remaining[:i], remaining[i+1:]...)
@@ -185,5 +204,5 @@ func claimNearestAccepting(coop CoopView, cands []Candidate, r *core.Request) (C
 			}
 		}
 	}
-	return Candidate{}, false
+	return Candidate{}, retries, false
 }

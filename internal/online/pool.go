@@ -1,6 +1,8 @@
 package online
 
 import (
+	"sync"
+
 	"crossmatch/internal/core"
 	"crossmatch/internal/index"
 )
@@ -10,17 +12,23 @@ import (
 // index), it reports whether the worker can actually serve it. The road
 // network model (internal/roadnet.Coverage) is the canonical
 // implementation; nil means pure Euclidean ranges, the paper's default.
+// Filters must be stateless or internally synchronized: the concurrent
+// runtime calls them from several platform goroutines at once.
 type RangeFilter func(w *core.Worker, r *core.Request) bool
 
 // Pool is a platform's waiting list of unoccupied workers (Definition
 // 2.2's "waiting list"), indexed spatially for the hot coverage query.
-// It enforces the time constraint in Covering and is not safe for
-// concurrent use; the event loop serializes access.
+// It enforces the time constraint in Covering and is safe for concurrent
+// use: mutators take the write lock, coverage queries share the read
+// lock, so the concurrent multi-platform runtime can scan one platform's
+// waiting list from every other platform while its owner keeps matching.
 type Pool struct {
+	mu      sync.RWMutex
 	ix      index.Index
 	workers map[int64]*core.Worker
 	// Filter optionally refines coverage (e.g. road distance); it must
 	// only ever prune workers whose Euclidean circle covers the request.
+	// Set it before the simulation starts; it is read without locking.
 	Filter RangeFilter
 }
 
@@ -33,16 +41,33 @@ func NewPool(ix index.Index) *Pool {
 	return &Pool{ix: ix, workers: make(map[int64]*core.Worker)}
 }
 
+// entryScratch recycles the index-query buffers of the hot coverage
+// path. A sync.Pool (rather than one buffer per Pool) keeps concurrent
+// readers of the same waiting list from sharing scratch space.
+var entryScratch = sync.Pool{
+	New: func() interface{} {
+		s := make([]index.Entry, 0, 64)
+		return &s
+	},
+}
+
 // Add registers a worker as waiting. Re-adding an ID replaces the entry
 // (a worker returning after a completed service arrives as a fresh
 // waiting-list entry).
 func (p *Pool) Add(w *core.Worker) {
+	p.mu.Lock()
 	p.workers[w.ID] = w
 	p.ix.Insert(index.Entry{ID: w.ID, Circle: w.Range()})
+	p.mu.Unlock()
 }
 
 // Remove deletes a worker from the waiting list, reporting presence.
+// The report is authoritative under concurrency: of any number of
+// racing removals of the same ID, exactly one observes true, which is
+// what makes both inner assignments and cross-platform claims atomic.
 func (p *Pool) Remove(id int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if _, ok := p.workers[id]; !ok {
 		return false
 	}
@@ -53,18 +78,36 @@ func (p *Pool) Remove(id int64) bool {
 
 // Get returns the waiting worker with the given ID.
 func (p *Pool) Get(id int64) (*core.Worker, bool) {
+	p.mu.RLock()
 	w, ok := p.workers[id]
+	p.mu.RUnlock()
 	return w, ok
 }
 
 // Len returns the number of waiting workers.
-func (p *Pool) Len() int { return len(p.workers) }
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	n := len(p.workers)
+	p.mu.RUnlock()
+	return n
+}
 
 // Covering returns the waiting workers able to serve r under the time
-// and range constraints of Definition 2.6, in unspecified order.
+// and range constraints of Definition 2.6, in unspecified order. It
+// allocates a fresh slice; hot paths should prefer AppendCovering with a
+// reused buffer.
 func (p *Pool) Covering(r *core.Request) []*core.Worker {
-	entries := p.ix.Covering(nil, r.Loc)
-	out := make([]*core.Worker, 0, len(entries))
+	return p.AppendCovering(nil, r)
+}
+
+// AppendCovering appends to dst the waiting workers able to serve r
+// under the time and range constraints of Definition 2.6 and returns the
+// extended slice. The index-query scratch is pooled, so a caller that
+// also reuses dst performs no per-request allocation.
+func (p *Pool) AppendCovering(dst []*core.Worker, r *core.Request) []*core.Worker {
+	sp := entryScratch.Get().(*[]index.Entry)
+	p.mu.RLock()
+	entries := p.ix.Covering((*sp)[:0], r.Loc)
 	for _, e := range entries {
 		w := p.workers[e.ID]
 		if w == nil || w.Arrival > r.Arrival {
@@ -73,28 +116,48 @@ func (p *Pool) Covering(r *core.Request) []*core.Worker {
 		if p.Filter != nil && !p.Filter(w, r) {
 			continue
 		}
-		out = append(out, w)
+		dst = append(dst, w)
 	}
-	return out
+	p.mu.RUnlock()
+	*sp = entries[:0]
+	entryScratch.Put(sp)
+	return dst
 }
 
 // Nearest returns the closest waiting worker able to serve r, ties by
-// smallest ID; ok=false when none can.
+// smallest ID; ok=false when none can. It scans the index entries
+// directly, so the hot inner-assignment path allocates nothing.
 func (p *Pool) Nearest(r *core.Request) (*core.Worker, bool) {
+	sp := entryScratch.Get().(*[]index.Entry)
+	p.mu.RLock()
+	entries := p.ix.Covering((*sp)[:0], r.Loc)
 	var best *core.Worker
 	bestD := 0.0
-	for _, w := range p.Covering(r) {
+	for _, e := range entries {
+		w := p.workers[e.ID]
+		if w == nil || w.Arrival > r.Arrival {
+			continue
+		}
+		if p.Filter != nil && !p.Filter(w, r) {
+			continue
+		}
 		d := w.Loc.Dist2(r.Loc)
 		if best == nil || d < bestD || (d == bestD && w.ID < best.ID) {
 			best, bestD = w, d
 		}
 	}
+	p.mu.RUnlock()
+	*sp = entries[:0]
+	entryScratch.Put(sp)
 	return best, best != nil
 }
 
 // Each calls fn for every waiting worker until fn returns false.
-// Iteration order is unspecified.
+// Iteration order is unspecified. fn must not mutate the pool: Each
+// holds the read lock for the whole iteration.
 func (p *Pool) Each(fn func(*core.Worker) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	for _, w := range p.workers {
 		if !fn(w) {
 			return

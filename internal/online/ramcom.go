@@ -24,6 +24,10 @@ type RamCOM struct {
 	coop      CoopView
 	rng       *rand.Rand
 	threshold float64
+	// covScratch is the reused buffer of the high-value branch's
+	// coverage query; a matcher is driven by one goroutine, so reuse
+	// across requests is race-free.
+	covScratch []*core.Worker
 
 	// ThresholdPricing, when true, replaces the exact expected-revenue
 	// maximization with the 1/e-style randomized threshold quote
@@ -88,10 +92,20 @@ func (m *RamCOM) Pool() *Pool { return m.pool }
 // RequestArrives implements Matcher (Algorithm 3).
 func (m *RamCOM) RequestArrives(r *core.Request) Decision {
 	if r.Value > m.threshold {
-		// Lines 4-8: random available inner worker.
-		if cands := m.pool.Covering(r); len(cands) > 0 {
+		// Lines 4-8: random available inner worker. The removal can lose
+		// to a concurrent cross-platform claim, in which case the
+		// remaining candidates are re-queried and redrawn; sequentially
+		// the first removal always succeeds and rng use is unchanged.
+		for {
+			m.covScratch = m.pool.AppendCovering(m.covScratch[:0], r)
+			cands := m.covScratch
+			if len(cands) == 0 {
+				break
+			}
 			w := cands[m.rng.Intn(len(cands))]
-			m.pool.Remove(w.ID)
+			if !m.pool.Remove(w.ID) {
+				continue
+			}
 			return Decision{
 				Served:     true,
 				Assignment: core.Assignment{Request: r, Worker: w},
@@ -110,13 +124,13 @@ func (m *RamCOM) RequestArrives(r *core.Request) Decision {
 		return d
 	} else if m.NoInnerFallback {
 		return d
-	} else if w, ok := m.pool.Nearest(r); ok {
+	} else if w, ok := claimNearestInner(m.pool, r); ok {
 		// Inner fallback: an idle inner worker beats rejection.
-		m.pool.Remove(w.ID)
 		return Decision{
 			Served:        true,
 			CoopAttempted: d.CoopAttempted,
 			Probes:        d.Probes,
+			ClaimRetries:  d.ClaimRetries,
 			Assignment:    core.Assignment{Request: r, Worker: w},
 		}
 	} else {
@@ -145,14 +159,15 @@ func (m *RamCOM) tryOuter(r *core.Request) (Decision, bool) {
 	if len(accepting) == 0 {
 		return Decision{CoopAttempted: true, Probes: probes}, false
 	}
-	best, claimed := claimNearestAccepting(m.coop, accepting, r)
+	best, retries, claimed := claimNearestAccepting(m.coop, accepting, r)
 	if !claimed {
-		return Decision{CoopAttempted: true, Probes: probes}, false
+		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries}, false
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
 		Probes:        probes,
+		ClaimRetries:  retries,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,
@@ -172,7 +187,12 @@ func (m *RamCOM) quote(r *core.Request, group []*pricing.History) (float64, bool
 		if err != nil {
 			return 0, false
 		}
-		return est, est > 0
+		// A zero (or any non-positive) estimate is still a quote, exactly
+		// as in DemCOM: the caller rejects on est > r.Value, and the
+		// acceptance probes handle a free offer by refusing it
+		// (pr(0, w) = 0). Rejecting here on est <= 0 made the two
+		// algorithms disagree on identical estimates.
+		return est, true
 	case m.ThresholdPricing:
 		q, err := pricing.ThresholdQuote(r.Value, group, 1-m.rng.Float64() /* (0,1] */)
 		if err != nil || q.Payment <= 0 {

@@ -30,14 +30,29 @@ func (m *TOTAGreedy) Pool() *Pool { return m.pool }
 
 // RequestArrives implements Matcher.
 func (m *TOTAGreedy) RequestArrives(r *core.Request) Decision {
-	w, ok := m.pool.Nearest(r)
+	w, ok := claimNearestInner(m.pool, r)
 	if !ok {
 		return Decision{}
 	}
-	m.pool.Remove(w.ID)
 	return Decision{
 		Served:     true,
 		Assignment: core.Assignment{Request: r, Worker: w},
+	}
+}
+
+// claimNearestInner takes the nearest waiting inner worker, retrying
+// when a cross-platform claim snatches the worker between the nearest
+// scan and the removal. In the sequential runtime the first removal
+// always succeeds, so behaviour (and rng consumption) is unchanged.
+func claimNearestInner(pool *Pool, r *core.Request) (*core.Worker, bool) {
+	for {
+		w, ok := pool.Nearest(r)
+		if !ok {
+			return nil, false
+		}
+		if pool.Remove(w.ID) {
+			return w, true
+		}
 	}
 }
 
@@ -84,11 +99,10 @@ func (m *GreedyRT) RequestArrives(r *core.Request) Decision {
 	if r.Value < m.threshold {
 		return Decision{}
 	}
-	w, ok := m.pool.Nearest(r)
+	w, ok := claimNearestInner(m.pool, r)
 	if !ok {
 		return Decision{}
 	}
-	m.pool.Remove(w.ID)
 	return Decision{
 		Served:     true,
 		Assignment: core.Assignment{Request: r, Worker: w},

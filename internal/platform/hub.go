@@ -13,8 +13,12 @@ package platform
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 	"crossmatch/internal/pricing"
 )
@@ -25,15 +29,34 @@ import (
 // cooperating platform — and a cooperative claim removes the worker from
 // its owner's waiting list, satisfying the "deleted from all its waiting
 // lists over all platforms" requirement.
+//
+// The hub is safe for concurrent use by the per-platform goroutines of
+// the concurrent runtime. Claims are genuinely atomic: every tracked
+// worker carries a claim word that racing platforms CAS, and the owner
+// pool's locked removal is the commit point, so of any number of
+// concurrent claims (and the owner's own inner assignment) exactly one
+// takes the worker. Registration (RegisterPlatform, SetMetrics,
+// CoopDisabled) must finish before the concurrent phase begins: pools,
+// order and configuration are read without locking afterwards.
 type Hub struct {
-	pools     map[core.PlatformID]*online.Pool
-	owner     map[int64]core.PlatformID
-	histories map[int64]*pricing.History
-	order     []core.PlatformID // registration order, for deterministic scans
-	lent      map[core.PlatformID]int
+	pools map[core.PlatformID]*online.Pool
+	order []core.PlatformID // registration order, for deterministic scans
 	// CoopDisabled turns the hub off: every view returns no outer
 	// workers, degrading COM to TOTA (the W_out = empty ablation).
 	CoopDisabled bool
+	// metrics, when non-nil, receives claim-conflict counts and hub
+	// lock-wait observations. Set before the run via SetMetrics.
+	metrics *metrics.Collector
+
+	// mu guards the per-worker tables below. Entries exist exactly while
+	// a worker waits: they are deleted when the worker is claimed by a
+	// cooperating platform or assigned by its own (WorkerAssigned), so
+	// long recycled runs no longer grow these maps without bound.
+	mu        sync.Mutex
+	owner     map[int64]core.PlatformID
+	histories map[int64]*pricing.History
+	claimed   map[int64]*atomic.Bool // per-worker claim state word
+	lent      map[core.PlatformID]int
 }
 
 // NewHub returns an empty hub.
@@ -42,12 +65,18 @@ func NewHub() *Hub {
 		pools:     make(map[core.PlatformID]*online.Pool),
 		owner:     make(map[int64]core.PlatformID),
 		histories: make(map[int64]*pricing.History),
+		claimed:   make(map[int64]*atomic.Bool),
 		lent:      make(map[core.PlatformID]int),
 	}
 }
 
+// SetMetrics attaches the collector that receives claim-conflict counts
+// and lock-wait observations. Must be called before the run starts.
+func (h *Hub) SetMetrics(m *metrics.Collector) { h.metrics = m }
+
 // RegisterPlatform attaches a platform's waiting-list pool. Must be
-// called once per platform before its workers arrive.
+// called once per platform before its workers arrive (and before any
+// concurrent access begins).
 func (h *Hub) RegisterPlatform(id core.PlatformID, pool *online.Pool) error {
 	if id == core.NoPlatform {
 		return fmt.Errorf("platform: cannot register the zero platform")
@@ -58,6 +87,19 @@ func (h *Hub) RegisterPlatform(id core.PlatformID, pool *online.Pool) error {
 	h.pools[id] = pool
 	h.order = append(h.order, id)
 	return nil
+}
+
+// lockTables acquires the table mutex, reporting the wait to the
+// collector when one is attached (the lock-wait reservoir of the
+// concurrent runtime's contention metrics).
+func (h *Hub) lockTables() {
+	if h.metrics == nil {
+		h.mu.Lock()
+		return
+	}
+	start := time.Now()
+	h.mu.Lock()
+	h.metrics.ObserveLockWait(time.Since(start))
 }
 
 // WorkerArrived records ownership and acceptance history for a worker
@@ -71,19 +113,48 @@ func (h *Hub) WorkerArrived(w *core.Worker) error {
 	if err != nil {
 		return fmt.Errorf("platform: worker %d: %w", w.ID, err)
 	}
+	h.lockTables()
 	h.owner[w.ID] = w.Platform
 	h.histories[w.ID] = hist
+	h.claimed[w.ID] = new(atomic.Bool)
+	h.mu.Unlock()
 	return nil
+}
+
+// WorkerAssigned releases the hub's ownership, history and claim state
+// for a worker just assigned by its own platform's matcher (an inner
+// assignment never passes through Claim). Cooperative claims clean up in
+// Claim itself, so calling this for them is a harmless no-op. Without
+// this eviction the per-worker tables grew without bound on long
+// recycled runs.
+func (h *Hub) WorkerAssigned(workerID int64) {
+	h.lockTables()
+	delete(h.owner, workerID)
+	delete(h.histories, workerID)
+	delete(h.claimed, workerID)
+	h.mu.Unlock()
+}
+
+// TrackedWorkers reports how many workers the hub currently holds
+// records for — exactly the waiting (unassigned) workers.
+func (h *Hub) TrackedWorkers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.owner)
 }
 
 // HistoryOf returns the acceptance history recorded for a worker.
 func (h *Hub) HistoryOf(workerID int64) (*pricing.History, bool) {
+	h.mu.Lock()
 	hist, ok := h.histories[workerID]
+	h.mu.Unlock()
 	return hist, ok
 }
 
 // ViewFor returns the CoopView platform id uses to see the other
-// platforms' unoccupied workers.
+// platforms' unoccupied workers. A view is bound to the goroutine
+// driving that platform's matcher: its EligibleOuter buffer is reused
+// across calls and must not be shared.
 func (h *Hub) ViewFor(id core.PlatformID) online.CoopView {
 	return &hubView{hub: h, self: id}
 }
@@ -91,44 +162,91 @@ func (h *Hub) ViewFor(id core.PlatformID) online.CoopView {
 type hubView struct {
 	hub  *Hub
 	self core.PlatformID
+	// cands and workers are per-view scratch, reused across requests so
+	// the hottest cooperative query performs no per-request allocation.
+	// Safe because exactly one platform goroutine drives each view.
+	cands   []online.Candidate
+	workers []*core.Worker
 }
 
 // EligibleOuter implements online.CoopView: unoccupied workers of every
-// other platform satisfying the Definition 2.6 constraints for r.
+// other platform satisfying the Definition 2.6 constraints for r. The
+// returned slice is valid until the next call on this view.
 func (v *hubView) EligibleOuter(r *core.Request) []online.Candidate {
-	if v.hub.CoopDisabled {
+	h := v.hub
+	if h.CoopDisabled {
 		return nil
 	}
-	var out []online.Candidate
-	for _, pid := range v.hub.order {
+	v.workers = v.workers[:0]
+	for _, pid := range h.order {
 		if pid == v.self {
 			continue
 		}
-		for _, w := range v.hub.pools[pid].Covering(r) {
-			out = append(out, online.Candidate{Worker: w, History: v.hub.histories[w.ID]})
-		}
+		v.workers = h.pools[pid].AppendCovering(v.workers, r)
 	}
-	return out
+	v.cands = v.cands[:0]
+	if len(v.workers) == 0 {
+		return v.cands
+	}
+	h.lockTables()
+	for _, w := range v.workers {
+		hist := h.histories[w.ID]
+		if hist == nil {
+			// Assigned by its owner between the pool scan and now; the
+			// worker is already out of every waiting list.
+			continue
+		}
+		v.cands = append(v.cands, online.Candidate{Worker: w, History: hist})
+	}
+	h.mu.Unlock()
+	return v.cands
 }
 
 // Claim implements online.CoopView: atomically remove the worker from
-// its owner's waiting list.
+// its owner's waiting list. The per-worker claim word arbitrates racing
+// platforms without touching the owner pool's lock; the locked pool
+// removal then commits the claim (or reports that the owner's inner
+// assignment won the race).
 func (v *hubView) Claim(workerID int64) bool {
-	if v.hub.CoopDisabled {
+	h := v.hub
+	if h.CoopDisabled {
 		return false
 	}
-	owner, ok := v.hub.owner[workerID]
-	if !ok || owner == v.self {
+	h.lockTables()
+	owner, ok := h.owner[workerID]
+	word := h.claimed[workerID]
+	h.mu.Unlock()
+	if !ok || word == nil {
+		// Matchers only claim workers they just sighted through
+		// EligibleOuter, so a missing record means the worker was
+		// assigned — by another platform's claim or its owner's inner
+		// match — between the sighting and this claim: a lost race.
+		h.metrics.ClaimConflict()
 		return false
 	}
-	pool, ok := v.hub.pools[owner]
-	if !ok {
+	if owner == v.self {
+		// Semantic refusal, not a race: the coop view never hands out
+		// a platform's own workers.
 		return false
 	}
-	if !pool.Remove(workerID) {
+	if !word.CompareAndSwap(false, true) {
+		// Another platform's claim got here first.
+		h.metrics.ClaimConflict()
 		return false
 	}
-	v.hub.lent[owner]++
+	pool := h.pools[owner]
+	if pool == nil || !pool.Remove(workerID) {
+		// The owner's inner assignment raced the claim and won; it will
+		// evict the tables via WorkerAssigned.
+		h.metrics.ClaimConflict()
+		return false
+	}
+	h.lockTables()
+	delete(h.owner, workerID)
+	delete(h.histories, workerID)
+	delete(h.claimed, workerID)
+	h.lent[owner]++
+	h.mu.Unlock()
 	return true
 }
 
@@ -136,6 +254,8 @@ func (v *hubView) Claim(workerID int64) bool {
 // hub — the supply side of the cooperation ledger (the demand side is
 // each platform's ServedOuter).
 func (h *Hub) Lent() map[core.PlatformID]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make(map[core.PlatformID]int, len(h.lent))
 	for pid, n := range h.lent {
 		out[pid] = n

@@ -3,9 +3,11 @@ package platform
 import (
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime/pprof"
+	"sync/atomic"
 	"time"
 
 	"crossmatch/internal/core"
@@ -26,7 +28,8 @@ type poolHolder interface{ Pool() *online.Pool }
 // Config controls a simulation run.
 type Config struct {
 	// Seed drives every random choice (matcher thresholds, acceptance
-	// probes, Monte-Carlo sampling). Same seed, same stream, same result.
+	// probes, Monte-Carlo sampling). Same seed, same stream, same result —
+	// under the sequential runtime; see PlatformParallel.
 	Seed int64
 	// ServiceTicks, when positive, recycles workers: a worker who
 	// completes a request re-joins its platform's waiting list
@@ -39,10 +42,22 @@ type Config struct {
 	// DisableCoop turns off worker sharing: COM algorithms degrade to
 	// TOTA (the degradation ablation).
 	DisableCoop bool
+	// PlatformParallel runs each platform's event sub-stream on its own
+	// goroutine, cooperating through the race-safe hub — the deployment
+	// model of the paper, where platforms are independent services and
+	// cross-platform claims genuinely race. Results stay valid (every
+	// matching passes Validate, no worker is assigned twice) but are not
+	// bit-reproducible across runs: event interleaving, and therefore
+	// claim outcomes, depends on scheduling. The default (false) keeps
+	// the single-goroutine loop whose results are a pure function of
+	// (stream, factory, Seed).
+	PlatformParallel bool
 	// Metrics, when non-nil, receives the run's matching-funnel counters
 	// (inner/outer matches, cooperative attempts, acceptance probes,
-	// rejections) and per-platform decision-latency observations. The
-	// collector is safe to share across concurrent runs.
+	// rejections, claim conflicts and retries), per-platform
+	// decision-latency observations and — under PlatformParallel — hub
+	// lock-wait timings. The collector is safe to share across
+	// concurrent runs.
 	Metrics *metrics.Collector
 	// ProfileLabel, when non-empty, tags the run's goroutine with a
 	// "crossmatch.run" pprof label so CPU profiles of a parallel
@@ -78,7 +93,10 @@ type Result struct {
 	Platforms map[core.PlatformID]*PlatformResult
 	// Lent counts workers each platform lent to others through the hub.
 	Lent map[core.PlatformID]int
-	// Recycled counts worker re-arrivals (only with ServiceTicks > 0).
+	// Recycled counts worker re-arrivals (only with ServiceTicks > 0),
+	// including workers whose re-arrival falls after the last stream
+	// event: they are flushed into their waiting lists at end of stream
+	// so the count matches the number of completed services.
 	Recycled int
 }
 
@@ -162,8 +180,9 @@ const cancelCheckMask = 63
 // mid-stream, the simulation stops at the next event boundary and
 // returns the partial Result accumulated so far alongside an error
 // wrapping ctx.Err() (test with errors.Is(err, context.Canceled) or
-// context.DeadlineExceeded). The run is single-goroutine, so
-// cancellation leaks nothing.
+// context.DeadlineExceeded). Under Config.PlatformParallel every
+// platform goroutine observes the cancellation and the partial Result is
+// returned once all of them have stopped; nothing leaks either way.
 func RunContext(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (res *Result, err error) {
 	if cfg.ProfileLabel != "" {
 		pprof.Do(ctx, pprof.Labels("crossmatch.run", cfg.ProfileLabel), func(ctx context.Context) {
@@ -175,24 +194,63 @@ func RunContext(ctx context.Context, stream *core.Stream, factory MatcherFactory
 }
 
 func runContext(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
-	hub := NewHub()
-	hub.CoopDisabled = cfg.DisableCoop
-	res := &Result{Platforms: map[core.PlatformID]*PlatformResult{}}
-	matchers := map[core.PlatformID]online.Matcher{}
+	s, err := newRunState(stream, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PlatformParallel && len(s.pids) > 1 {
+		return s.runParallel(ctx)
+	}
+	return s.runSequential(ctx)
+}
+
+// runState is one run's shared machinery: the hub, the per-platform
+// matchers and result slots, and the recycled-worker ID allocator. Under
+// the concurrent runtime the maps are read-only after newRunState; each
+// per-platform slot (PlatformResult, matcher) is touched only by the
+// goroutine driving that platform.
+type runState struct {
+	cfg      Config
+	stream   *core.Stream
+	hub      *Hub
+	pids     []core.PlatformID
+	matchers map[core.PlatformID]online.Matcher
+	labels   map[core.PlatformID]string
+	res      *Result
+	// nextID allocates IDs for recycled workers. Sequentially it counts
+	// up from maxWorkerID+1 in event order exactly as before; in
+	// parallel the IDs are unique but their platform assignment depends
+	// on scheduling.
+	nextID atomic.Int64
+}
+
+func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runState, error) {
+	s := &runState{
+		cfg:      cfg,
+		stream:   stream,
+		hub:      NewHub(),
+		pids:     stream.Platforms(),
+		matchers: map[core.PlatformID]online.Matcher{},
+		labels:   map[core.PlatformID]string{},
+		res:      &Result{Platforms: map[core.PlatformID]*PlatformResult{}},
+	}
+	s.hub.CoopDisabled = cfg.DisableCoop
+	s.hub.SetMetrics(cfg.Metrics)
+	s.nextID.Store(maxWorkerID(stream))
 
 	root := rand.New(rand.NewSource(cfg.Seed))
-	for _, pid := range stream.Platforms() {
+	for _, pid := range s.pids {
 		rng := rand.New(rand.NewSource(root.Int63()))
-		m := factory(pid, hub.ViewFor(pid), rng)
+		m := factory(pid, s.hub.ViewFor(pid), rng)
 		holder, ok := m.(poolHolder)
 		if !ok {
 			return nil, fmt.Errorf("platform: matcher %q does not expose its pool", m.Name())
 		}
-		if err := hub.RegisterPlatform(pid, holder.Pool()); err != nil {
+		if err := s.hub.RegisterPlatform(pid, holder.Pool()); err != nil {
 			return nil, err
 		}
-		matchers[pid] = m
-		res.Platforms[pid] = &PlatformResult{
+		s.matchers[pid] = m
+		s.res.Platforms[pid] = &PlatformResult{
 			ID: pid, Name: m.Name(), Matching: core.NewMatching(),
 			Latency: stats.NewReservoir(0, cfg.Seed^int64(pid)),
 		}
@@ -201,99 +259,149 @@ func runContext(ctx context.Context, stream *core.Stream, factory MatcherFactory
 	cfg.Metrics.RunStarted()
 	// Per-platform latency labels are built once; the hot loop must not
 	// format strings.
-	labels := map[core.PlatformID]string{}
 	if cfg.Metrics != nil {
-		for _, pid := range stream.Platforms() {
-			labels[pid] = fmt.Sprintf("platform-%d", pid)
+		for _, pid := range s.pids {
+			s.labels[pid] = fmt.Sprintf("platform-%d", pid)
 		}
 	}
+	return s, nil
+}
 
-	// Pending worker re-arrivals (recycling), ordered by time.
+// deliver puts a worker (fresh or recycled) into its platform's waiting
+// list and registers it with the hub.
+func (s *runState) deliver(w *core.Worker) error {
+	if err := s.hub.WorkerArrived(w); err != nil {
+		return err
+	}
+	s.matchers[w.Platform].WorkerArrives(w)
+	return nil
+}
+
+// handleRequest runs one request through its platform's matcher and
+// folds the decision into results and metrics. It returns the recycled
+// worker to be re-delivered later, if any. Only the goroutine driving
+// e.Request.Platform may call it for that platform.
+func (s *runState) handleRequest(e core.Event) (*core.Worker, error) {
+	r := e.Request
+	pr := s.res.Platforms[r.Platform]
+	m := s.matchers[r.Platform]
+	start := time.Now()
+	d := m.RequestArrives(r)
+	el := time.Since(start)
+	pr.ResponseTotal += el
+	if el > pr.ResponseMax {
+		pr.ResponseMax = el
+	}
+	pr.Latency.Observe(el)
+	pr.Stats.Observe(d)
+	if mc := s.cfg.Metrics; mc != nil {
+		mc.ObserveLatency(s.labels[r.Platform], el)
+		mc.AddProbes(d.Probes)
+		mc.AddClaimRetries(d.ClaimRetries)
+		if d.CoopAttempted {
+			mc.CoopAttempt()
+		}
+		switch {
+		case d.Served && d.Assignment.Outer:
+			mc.MatchOuter()
+		case d.Served:
+			mc.MatchInner()
+		default:
+			mc.Reject()
+		}
+	}
+	if !d.Served {
+		return nil, nil
+	}
+	// Release the hub's per-worker record. For inner assignments this is
+	// the eviction keeping the hub tables bounded; for outer ones Claim
+	// already did it and this is a no-op.
+	s.hub.WorkerAssigned(d.Assignment.Worker.ID)
+	if err := pr.Matching.Add(d.Assignment); err != nil {
+		return nil, fmt.Errorf("platform %d: %w", r.Platform, err)
+	}
+	if s.cfg.ServiceTicks <= 0 {
+		return nil, nil
+	}
+	w := d.Assignment.Worker
+	earned := d.Assignment.Request.Value
+	if d.Assignment.Outer {
+		earned = d.Assignment.Payment
+	}
+	return &core.Worker{
+		ID:       s.nextID.Add(1),
+		Arrival:  e.Time + s.cfg.ServiceTicks,
+		Loc:      d.Assignment.Request.Loc,
+		Radius:   w.Radius,
+		Platform: w.Platform,
+		History:  append(append([]float64(nil), w.History...), earned),
+	}, nil
+}
+
+// consume drives one event sequence to completion: recycled workers due
+// before each event are delivered first, then the event itself. At end
+// of stream the pending recycle heap is flushed so every completed
+// service counts as a re-arrival even when it falls after the last
+// event (previously those workers were silently dropped and Recycled
+// undercounted). The returned recycled count covers this consumer only;
+// a cancellation error wraps ctx.Err() and is formatted without the
+// "platform:" prefix so callers can add run-level context.
+func (s *runState) consume(ctx context.Context, events []core.Event, total int) (recycled int, err error) {
 	var recycle recycleHeap
-	nextRecycledID := maxWorkerID(stream) + 1
-
-	deliverWorker := func(w *core.Worker) error {
-		if err := hub.WorkerArrived(w); err != nil {
-			return err
-		}
-		matchers[w.Platform].WorkerArrives(w)
-		return nil
-	}
-
-	for i, e := range stream.Events() {
+	for i, e := range events {
 		if i&cancelCheckMask == 0 {
-			if err := ctx.Err(); err != nil {
-				res.Lent = hub.Lent()
-				return res, fmt.Errorf("platform: run stopped after %d of %d events: %w",
-					i, stream.Len(), err)
+			if cerr := ctx.Err(); cerr != nil {
+				return recycled, fmt.Errorf("run stopped after %d of %d events: %w", i, total, cerr)
 			}
 		}
 		// Flush recycled workers due before this event.
 		for len(recycle) > 0 && recycle[0].Arrival <= e.Time {
 			w := heap.Pop(&recycle).(*core.Worker)
-			if err := deliverWorker(w); err != nil {
-				return nil, err
+			if err := s.deliver(w); err != nil {
+				return recycled, err
 			}
-			res.Recycled++
+			recycled++
 		}
 		switch e.Kind {
 		case core.WorkerArrival:
-			if err := deliverWorker(e.Worker); err != nil {
-				return nil, err
+			if err := s.deliver(e.Worker); err != nil {
+				return recycled, err
 			}
 		case core.RequestArrival:
-			pr := res.Platforms[e.Request.Platform]
-			m := matchers[e.Request.Platform]
-			start := time.Now()
-			d := m.RequestArrives(e.Request)
-			el := time.Since(start)
-			pr.ResponseTotal += el
-			if el > pr.ResponseMax {
-				pr.ResponseMax = el
+			reborn, err := s.handleRequest(e)
+			if err != nil {
+				return recycled, err
 			}
-			pr.Latency.Observe(el)
-			pr.Stats.Observe(d)
-			if m := cfg.Metrics; m != nil {
-				m.ObserveLatency(labels[e.Request.Platform], el)
-				m.AddProbes(d.Probes)
-				if d.CoopAttempted {
-					m.CoopAttempt()
-				}
-				switch {
-				case d.Served && d.Assignment.Outer:
-					m.MatchOuter()
-				case d.Served:
-					m.MatchInner()
-				default:
-					m.Reject()
-				}
-			}
-			if d.Served {
-				if err := pr.Matching.Add(d.Assignment); err != nil {
-					return nil, fmt.Errorf("platform %d: %w", e.Request.Platform, err)
-				}
-				if cfg.ServiceTicks > 0 {
-					w := d.Assignment.Worker
-					earned := d.Assignment.Request.Value
-					if d.Assignment.Outer {
-						earned = d.Assignment.Payment
-					}
-					reborn := &core.Worker{
-						ID:       nextRecycledID,
-						Arrival:  e.Time + cfg.ServiceTicks,
-						Loc:      d.Assignment.Request.Loc,
-						Radius:   w.Radius,
-						Platform: w.Platform,
-						History:  append(append([]float64(nil), w.History...), earned),
-					}
-					nextRecycledID++
-					heap.Push(&recycle, reborn)
-				}
+			if reborn != nil {
+				heap.Push(&recycle, reborn)
 			}
 		}
 	}
-	res.Lent = hub.Lent()
-	return res, nil
+	for len(recycle) > 0 {
+		w := heap.Pop(&recycle).(*core.Worker)
+		if err := s.deliver(w); err != nil {
+			return recycled, err
+		}
+		recycled++
+	}
+	return recycled, nil
+}
+
+// runSequential is the deterministic single-goroutine runtime: all
+// platforms' events interleave in stream order on one goroutine, and the
+// result is a pure function of (stream, factory, Seed).
+func (s *runState) runSequential(ctx context.Context) (*Result, error) {
+	recycled, err := s.consume(ctx, s.stream.Events(), s.stream.Len())
+	s.res.Recycled = recycled
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			s.res.Lent = s.hub.Lent()
+			return s.res, fmt.Errorf("platform: %w", err)
+		}
+		return nil, err
+	}
+	s.res.Lent = s.hub.Lent()
+	return s.res, nil
 }
 
 func maxWorkerID(stream *core.Stream) int64 {

@@ -1,0 +1,58 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"crossmatch/internal/core"
+)
+
+// runParallel is the concurrent runtime behind Config.PlatformParallel:
+// every platform consumes its own event sub-stream on its own goroutine,
+// matching the paper's deployment model of independent platform services
+// that share unoccupied workers through the hub. Cross-platform claims
+// genuinely race here — the hub's per-worker claim words and the pools'
+// locks arbitrate them — so results are valid but not bit-reproducible
+// run to run.
+//
+// Error handling mirrors runSequential: any platform error cancels the
+// remaining platforms, everything is joined, and the first failing
+// platform (in platform-ID order) decides the returned error. The
+// partially accumulated Result is always returned so cancellation keeps
+// its "stop and keep what you have" contract.
+func (s *runState) runParallel(ctx context.Context) (*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		recycled int
+		err      error
+	}
+	outs := make([]outcome, len(s.pids))
+	var wg sync.WaitGroup
+	for i, pid := range s.pids {
+		sub := s.stream.FilterPlatform(pid)
+		wg.Add(1)
+		go func(i int, pid core.PlatformID, sub *core.Stream) {
+			defer wg.Done()
+			rec, err := s.consume(ctx, sub.Events(), sub.Len())
+			outs[i] = outcome{recycled: rec, err: err}
+			if err != nil {
+				cancel()
+			}
+		}(i, pid, sub)
+	}
+	wg.Wait()
+
+	for _, o := range outs {
+		s.res.Recycled += o.recycled
+	}
+	s.res.Lent = s.hub.Lent()
+	for i, o := range outs {
+		if o.err != nil {
+			return s.res, fmt.Errorf("platform: platform %d: %w", s.pids[i], o.err)
+		}
+	}
+	return s.res, nil
+}

@@ -15,6 +15,6 @@ echo "==> go test -race"
 go test -race ./...
 
 echo "==> short benchmarks (1 iteration each)"
-go test -run '^$' -bench 'BenchmarkTable(Sequential|Parallel)$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkTable(Sequential|Parallel)$|BenchmarkPlatform(Sequential|Parallel)Runtime$' -benchtime 1x .
 
 echo "==> OK"
