@@ -3,9 +3,11 @@ package crossmatch
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/experiments"
+	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/platform"
 	"crossmatch/internal/workload"
@@ -60,7 +62,26 @@ type (
 	Metrics = metrics.Collector
 	// Preset describes one of the paper's Table III dataset substitutes.
 	Preset = workload.Preset
+	// FaultPlan describes deterministic cooperation faults (latency
+	// spikes, dropped probes, transient claim errors, scheduled platform
+	// outages) plus the retry and circuit-breaker policy that contains
+	// them; attach one with WithFaultPlan.
+	FaultPlan = fault.Plan
+	// FaultOutage schedules a whole-platform outage window on the
+	// stream timeline inside a FaultPlan.
+	FaultOutage = fault.Outage
+	// FaultRetryPolicy bounds each cooperative probe or claim call:
+	// attempts, capped exponential backoff and a virtual deadline.
+	FaultRetryPolicy = fault.RetryPolicy
+	// FaultBreakerConfig tunes the per-platform circuit breakers.
+	FaultBreakerConfig = fault.BreakerConfig
 )
+
+// ParseFaultPlan parses the textual fault-plan specification used by
+// combench's -faults flag (e.g. "drop=0.1,latency=0.2:1ms-10ms,
+// outage=2@100-300"); see the internal/fault documentation and
+// EXPERIMENTS.md "Fault model & degradation" for the full grammar.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
 
 // NewMetrics returns an empty collector ready to share across
 // concurrent simulations.
@@ -127,6 +148,8 @@ type simConfig struct {
 	platformParallel bool
 	metrics          *Metrics
 	profileLabel     string
+	faults           *FaultPlan
+	probeDeadline    time.Duration
 }
 
 // WithSeed roots all of the run's randomness; the same seed and stream
@@ -172,6 +195,25 @@ func WithProfileLabel(label string) Option {
 	return func(c *simConfig) { c.profileLabel = label }
 }
 
+// WithFaultPlan injects deterministic cooperation faults into the run:
+// probes and claims against partner platforms suffer the plan's latency
+// spikes, drops, transient claim errors and scheduled outages, retried
+// under the plan's deadline/backoff policy, with a circuit breaker per
+// partner so matching degrades gracefully to inner-only against a dark
+// platform. Fault randomness is seeded (Plan.Seed, falling back to the
+// run seed) and never touches matcher randomness: a nil plan — or no
+// plan at all — keeps results bit-identical to a fault-free run.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *simConfig) { c.faults = p }
+}
+
+// WithProbeDeadline overrides the fault plan's virtual per-call
+// deadline for cooperative probes and claims. Only meaningful together
+// with WithFaultPlan.
+func WithProbeDeadline(d time.Duration) Option {
+	return func(c *simConfig) { c.probeDeadline = d }
+}
+
 // SimulateContext runs the named online algorithm over the stream, one
 // matcher per platform, cooperating through a shared hub. The context
 // cancels mid-stream: the run stops between arrival events and returns
@@ -192,6 +234,8 @@ func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts
 		PlatformParallel: c.platformParallel,
 		Metrics:          c.metrics,
 		ProfileLabel:     c.profileLabel,
+		Faults:           c.faults,
+		ProbeDeadline:    c.probeDeadline,
 	})
 }
 

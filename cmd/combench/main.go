@@ -8,10 +8,17 @@
 //	combench -exp tableV -scale 0.1  # one table at 10% of paper size
 //	combench -exp fig5a -plot        # one figure series + ASCII chart
 //	combench -exp cr                 # competitive ratios
-//	combench -exp ablations          # design-choice ablations
+//	combench -exp ablations         # design-choice ablations
+//	combench -exp faults            # fault-rate vs revenue/coverage sweep
+//	combench -exp tableV -faults drop=0.2,latency=0.3:1ms-10ms
 //
 // Experiment ids: tableV tableVI tableVII fig5a..fig5l cr ablations
-// roadnet valuedist platforms variance all.
+// roadnet valuedist platforms variance faults all.
+//
+// The -faults flag injects a cooperation fault plan into every unit
+// run; see EXPERIMENTS.md "Fault model & degradation" for the grammar
+// (latency=RATE:MIN-MAX, drop=RATE, claimerr=RATE, outage=PID@FROM-UNTIL,
+// deadline, attempts, backoff, threshold, cooldown).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os"
 
 	"crossmatch/internal/experiments"
+	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/stats"
 	"crossmatch/internal/workload"
@@ -39,13 +47,20 @@ func main() {
 		par         = flag.Int("par", 0, "worker-pool size for unit runs (0 = GOMAXPROCS, 1 = sequential)")
 		platpar     = flag.Bool("platpar", false, "run each simulation with one goroutine per platform (results valid but not bit-reproducible)")
 		metricsPath = flag.String("metrics", "", "write an aggregate metrics report as JSON to this file ('-' = stderr)")
+		faultsSpec  = flag.String("faults", "", "cooperation fault plan for every unit run, e.g. 'drop=0.1,latency=0.2:1ms-10ms,outage=2@100-300' (see EXPERIMENTS.md)")
+		faultSeed   = flag.Int64("fault-seed", 0, "root seed for fault randomness (requires -faults; 0 derives it from the run seed)")
 	)
 	flag.Parse()
-	runner := &experiments.Runner{Parallelism: *par, PlatformParallel: *platpar}
+	plan, err := validateFaultFlags(*faultsSpec, *faultSeed, *platpar)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		os.Exit(2)
+	}
+	runner := &experiments.Runner{Parallelism: *par, PlatformParallel: *platpar, FaultPlan: plan}
 	if *metricsPath != "" {
 		runner.Metrics = metrics.New()
 	}
-	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, runner); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, *faultSeed, runner); err != nil {
 		if errors.Is(err, workload.ErrUnknownPreset) {
 			fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
 		} else {
@@ -61,6 +76,27 @@ func main() {
 	}
 }
 
+// validateFaultFlags parses -faults and rejects contradictory flag
+// combinations up front — a typo'd fault key or an impossible plan must
+// be a usage error, never a silently fault-free run.
+func validateFaultFlags(spec string, faultSeed int64, platpar bool) (*fault.Plan, error) {
+	if spec == "" {
+		if faultSeed != 0 {
+			return nil, fmt.Errorf("-fault-seed requires -faults (no fault plan to seed)")
+		}
+		return nil, nil
+	}
+	plan, err := fault.ParsePlan(spec)
+	if err != nil {
+		return nil, fmt.Errorf("-faults: %w", err)
+	}
+	if plan.HasOutages() && !platpar {
+		return nil, fmt.Errorf("-faults plan schedules partner outages, which model independent platform services; run with -platpar (or drop the outage= entries)")
+	}
+	plan.Seed = faultSeed
+	return plan, nil
+}
+
 func writeMetrics(path string, c *metrics.Collector) error {
 	out := io.Writer(os.Stderr)
 	if path != "-" {
@@ -74,7 +110,7 @@ func writeMetrics(path string, c *metrics.Collector) error {
 	return c.Snapshot().WriteJSON(out)
 }
 
-func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, runner *experiments.Runner) error {
+func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, faultSeed int64, runner *experiments.Runner) error {
 	render := func(t *stats.Table) error {
 		var err error
 		if csvOut {
@@ -93,7 +129,7 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 		ids = []string{"tableV", "tableVI", "tableVII",
 			"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
 			"fig5i", "fig5j", "fig5k", "fig5l", "cr", "ablations", "roadnet", "valuedist",
-			"platforms", "variance"}
+			"platforms", "variance", "faults"}
 	}
 
 	// Sweeps are shared across the four figures of one axis; cache them.
@@ -224,6 +260,14 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 		case "variance":
 			var res *experiments.VarianceResult
 			res, err = experiments.RunVariance(experiments.VarianceOptions{Seed: seed, Runner: runner})
+			if err == nil {
+				err = render(res.Table())
+			}
+		case "faults":
+			var res *experiments.FaultSweepResult
+			res, err = experiments.RunFaultSweep(experiments.FaultSweepOptions{
+				Seed: seed, Repeats: repeats, FaultSeed: faultSeed, Runner: runner,
+			})
 			if err == nil {
 				err = render(res.Table())
 			}

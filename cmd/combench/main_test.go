@@ -12,7 +12,7 @@ import (
 func TestRunCollectsMetrics(t *testing.T) {
 	var buf bytes.Buffer
 	runner := &experiments.Runner{Parallelism: 1, Metrics: metrics.New()}
-	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, runner); err != nil {
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, runner); err != nil {
 		t.Fatal(err)
 	}
 	rep := runner.Metrics.Snapshot()
@@ -32,7 +32,7 @@ func TestRunCollectsMetrics(t *testing.T) {
 
 func TestRunSingleTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, experiments.Sequential()); err != nil {
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -45,10 +45,10 @@ func TestRunSingleTable(t *testing.T) {
 
 func TestRunFigureSharesSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -59,7 +59,7 @@ func TestRunFigureSharesSweep(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rad,TOTA,DemCOM,RamCOM") {
@@ -69,7 +69,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false, experiments.Sequential()); err == nil {
+	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false, 0, experiments.Sequential()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -79,7 +79,7 @@ func TestRunCR(t *testing.T) {
 	// CROptions defaults are too heavy for a unit test; the cr path is
 	// covered via the experiments package tests. Here just ensure the
 	// ablations path wires through.
-	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false, experiments.Sequential()); err != nil {
+	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "oracle") {
@@ -89,11 +89,88 @@ func TestRunCR(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true, 0, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "* TOTA") || !strings.Contains(out, "(rad)") {
 		t.Errorf("plot output missing chart:\n%s", out)
+	}
+}
+
+func TestValidateFaultFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     string
+		seed     int64
+		platpar  bool
+		wantErr  string
+		wantPlan bool
+	}{
+		{name: "no flags", wantPlan: false},
+		{name: "plain plan", spec: "drop=0.2", wantPlan: true},
+		{name: "seed threads into plan", spec: "drop=0.2", seed: 77, wantPlan: true},
+		{name: "fault-seed without faults", seed: 7, wantErr: "-fault-seed requires -faults"},
+		{name: "unknown key", spec: "latnecy=0.2", wantErr: "unknown fault-plan key"},
+		{name: "malformed rate", spec: "drop=high", wantErr: "drop"},
+		{name: "outage without platpar", spec: "outage=2@100-300", wantErr: "-platpar"},
+		{name: "outage with platpar", spec: "outage=2@100-300", platpar: true, wantPlan: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := validateFaultFlags(tc.spec, tc.seed, tc.platpar)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got plan %v", tc.wantErr, plan)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (plan != nil) != tc.wantPlan {
+				t.Fatalf("plan = %v, wantPlan = %v", plan, tc.wantPlan)
+			}
+			if plan != nil && plan.Seed != tc.seed {
+				t.Errorf("plan seed %d, want %d", plan.Seed, tc.seed)
+			}
+		})
+	}
+}
+
+func TestRunFaultSweepExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	// A tiny sweep: two rates, one repeat. The zero-fault anchor row is
+	// prepended by the harness itself.
+	res, err := experiments.RunFaultSweep(experiments.FaultSweepOptions{
+		Rates: []float64{0, 1}, Requests: 200, Workers: 60, Repeats: 1, Seed: 7,
+		Runner: experiments.Sequential(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Table().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fault rate", "Rev vs 0", "Brk opened", "TOTA", "DemCOM", "RamCOM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault sweep table missing %q:\n%s", want, out)
+		}
+	}
+	// TOTA never touches the hub: its revenue must be fault-immune.
+	base, _ := res.Row(0, "TOTA")
+	worst, _ := res.Row(1, "TOTA")
+	if base.Revenue != worst.Revenue {
+		t.Errorf("TOTA revenue moved under faults: %.4f -> %.4f", base.Revenue, worst.Revenue)
+	}
+	// Fully faulted COM must not beat its own fault-free baseline.
+	dBase, _ := res.Row(0, "DemCOM")
+	dWorst, _ := res.Row(1, "DemCOM")
+	if dWorst.Revenue > dBase.Revenue {
+		t.Errorf("DemCOM revenue rose under total fault load: %.4f -> %.4f", dBase.Revenue, dWorst.Revenue)
 	}
 }

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossmatch/internal/geo"
+)
+
+// FuzzStreamOrdering fuzzes NewStream with randomly generated, randomly
+// shuffled worker and request arrivals and asserts the ordering contract
+// every consumer relies on: events sorted by time; at equal times every
+// worker arrival precedes every request arrival (so a worker arriving
+// with a request may serve it); equal (time, kind) ties broken by
+// ascending ID; and the sort is a permutation — nothing dropped,
+// duplicated or mutated. The order must also be a pure function of the
+// event multiset, independent of input shuffling.
+func FuzzStreamOrdering(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(7))
+	f.Add(int64(42), uint8(0), uint8(3))
+	f.Add(int64(-9), uint8(40), uint8(40))
+	f.Add(int64(7), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nWorkers, nRequests uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		var events []Event
+		id := int64(1)
+		for i := 0; i < int(nWorkers); i++ {
+			w := &Worker{
+				ID:       id,
+				Arrival:  Time(rng.Intn(20)),
+				Loc:      geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+				Radius:   0.1 + rng.Float64(),
+				Platform: PlatformID(1 + rng.Intn(3)),
+			}
+			events = append(events, Event{Time: w.Arrival, Kind: WorkerArrival, Worker: w})
+			id++
+		}
+		for i := 0; i < int(nRequests); i++ {
+			r := &Request{
+				ID:       id,
+				Arrival:  Time(rng.Intn(20)),
+				Loc:      geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10},
+				Value:    0.1 + rng.Float64()*5,
+				Platform: PlatformID(1 + rng.Intn(3)),
+			}
+			events = append(events, Event{Time: r.Arrival, Kind: RequestArrival, Request: r})
+			id++
+		}
+		rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+
+		s, err := NewStream(events)
+		if err != nil {
+			t.Fatalf("valid events rejected: %v", err)
+		}
+		got := s.Events()
+		if len(got) != len(events) {
+			t.Fatalf("stream has %d events, input had %d", len(got), len(events))
+		}
+		seen := map[int64]bool{}
+		for i, e := range got {
+			if seen[eventID(e)] {
+				t.Fatalf("event id %d appears twice in the stream", eventID(e))
+			}
+			seen[eventID(e)] = true
+			if i == 0 {
+				continue
+			}
+			prev := got[i-1]
+			if e.Time < prev.Time {
+				t.Fatalf("event %d at t=%d follows event at t=%d: stream not time-ordered", i, e.Time, prev.Time)
+			}
+			if e.Time == prev.Time {
+				if prev.Kind == RequestArrival && e.Kind == WorkerArrival {
+					t.Fatalf("at t=%d a worker arrival follows a request arrival: workers must come first", e.Time)
+				}
+				if prev.Kind == e.Kind && eventID(prev) >= eventID(e) {
+					t.Fatalf("at t=%d, kind %v: id %d not ascending after %d", e.Time, e.Kind, eventID(e), eventID(prev))
+				}
+			}
+		}
+
+		// Re-shuffling the same events must yield the identical order:
+		// downstream determinism (same seed, same matching) depends on it.
+		rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+		s2, err := NewStream(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if eventID(got[i]) != eventID(s2.Events()[i]) {
+				t.Fatalf("event order depends on input order: position %d is id %d vs id %d",
+					i, eventID(got[i]), eventID(s2.Events()[i]))
+			}
+		}
+	})
+}

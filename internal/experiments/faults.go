@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crossmatch/internal/fault"
+	"crossmatch/internal/metrics"
+	"crossmatch/internal/platform"
+	"crossmatch/internal/pricing"
+	"crossmatch/internal/stats"
+	"crossmatch/internal/workload"
+)
+
+// FaultSweepOptions configures the fault-tolerance study: the same
+// workload run under increasing cooperation-fault intensity, with the
+// zero-fault row as the baseline every other row is compared against.
+type FaultSweepOptions struct {
+	// Rates are the fault intensities to sweep, each in [0, 1]; at rate
+	// x every probe is dropped with probability x, suffers a latency
+	// spike with probability x, and every claim fails transiently with
+	// probability x/2. 0 must be present to anchor the baseline and is
+	// prepended when missing. Default {0, 0.1, 0.25, 0.5, 1}.
+	Rates []float64
+	// Requests/Workers/Radius shape the two-platform synthetic workload
+	// (defaults 2000/400/1.0).
+	Requests, Workers int
+	Radius            float64
+	// Repeats averages this many seeds per measurement (default 3).
+	Repeats int
+	Seed    int64
+	// FaultSeed roots the fault randomness (0 derives it per run).
+	FaultSeed int64
+	// Runner fans the (rate × algorithm × repeat) unit runs across a
+	// worker pool; nil uses GOMAXPROCS. The runner's own FaultPlan is
+	// ignored — this study builds one plan per rate.
+	Runner *Runner
+}
+
+func (o *FaultSweepOptions) withDefaults() FaultSweepOptions {
+	out := *o
+	if len(out.Rates) == 0 {
+		out.Rates = []float64{0, 0.1, 0.25, 0.5, 1}
+	}
+	hasZero := false
+	for _, r := range out.Rates {
+		if r == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		out.Rates = append([]float64{0}, out.Rates...)
+	}
+	if out.Requests <= 0 {
+		out.Requests = 2000
+	}
+	if out.Workers <= 0 {
+		out.Workers = 400
+	}
+	if out.Radius <= 0 {
+		out.Radius = 1.0
+	}
+	if out.Repeats <= 0 {
+		out.Repeats = 3
+	}
+	return out
+}
+
+// planForRate builds the fault plan for one sweep intensity. Rate 0
+// returns nil: the baseline runs the fault-free engine, not an
+// empty-plan engine, so the comparison covers the whole injection
+// layer.
+func planForRate(rate float64, seed int64) *fault.Plan {
+	if rate <= 0 {
+		return nil
+	}
+	return &fault.Plan{
+		Seed:           seed,
+		DropRate:       rate,
+		LatencyRate:    rate,
+		LatencyMin:     time.Millisecond,
+		LatencyMax:     12 * time.Millisecond,
+		ClaimErrorRate: rate / 2,
+	}
+}
+
+// FaultSweepRow is one (rate, algorithm) measurement, averaged over
+// repeats.
+type FaultSweepRow struct {
+	Rate      float64
+	Algorithm string
+	Revenue   float64
+	Served    float64
+	CoR       float64 // cooperative requests served
+	// RevenueRatio and ServedRatio compare against the same algorithm's
+	// zero-fault baseline row (1.0 = no degradation).
+	RevenueRatio float64
+	ServedRatio  float64
+	// Retries / Timeouts / BreakerOpened aggregate the resilience
+	// counters across the row's runs.
+	Retries       float64
+	Timeouts      float64
+	BreakerOpened float64
+}
+
+// FaultSweepResult is the full study.
+type FaultSweepResult struct {
+	Opts FaultSweepOptions
+	Rows []FaultSweepRow
+}
+
+// Row fetches one measurement.
+func (r *FaultSweepResult) Row(rate float64, alg string) (FaultSweepRow, bool) {
+	for _, row := range r.Rows {
+		if row.Rate == rate && row.Algorithm == alg {
+			return row, true
+		}
+	}
+	return FaultSweepRow{}, false
+}
+
+// Table renders the study.
+func (r *FaultSweepResult) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Fault tolerance (|R|=%d, |W|=%d, rad=%.1f, %d repeats; rate x: drop=x, latency=x, claimerr=x/2)",
+			r.Opts.Requests, r.Opts.Workers, r.Opts.Radius, r.Opts.Repeats),
+		"Fault rate", "Algorithm", "Revenue", "Rev vs 0", "Served", "Srv vs 0", "|CoR|", "Retries", "Timeouts", "Brk opened")
+	for _, row := range r.Rows {
+		tb.Add(stats.FormatFloat(row.Rate, 2), row.Algorithm,
+			stats.FormatFloat(row.Revenue, 1),
+			stats.FormatFloat(row.RevenueRatio, 3),
+			stats.FormatFloat(row.Served, 1),
+			stats.FormatFloat(row.ServedRatio, 3),
+			stats.FormatFloat(row.CoR, 1),
+			stats.FormatFloat(row.Retries, 1),
+			stats.FormatFloat(row.Timeouts, 1),
+			stats.FormatFloat(row.BreakerOpened, 1))
+	}
+	return tb
+}
+
+// RunFaultSweep measures how gracefully the COM algorithms degrade as
+// the cooperation channel gets flakier: dropped and slow probes starve
+// the cooperative path, so revenue should slide toward the inner-only
+// (TOTA-like) level rather than collapse — the circuit breakers keep
+// dark partners from stalling matching. TOTA itself never touches the
+// hub and rides along as the fault-immune control.
+func RunFaultSweep(opts FaultSweepOptions) (*FaultSweepResult, error) {
+	o := opts.withDefaults()
+	res := &FaultSweepResult{Opts: o}
+	algoNames := []string{platform.AlgTOTA, platform.AlgDemCOM, platform.AlgRamCOM}
+	cfg, err := workload.Synthetic(o.Requests, o.Workers, o.Radius, "real")
+	if err != nil {
+		return nil, err
+	}
+
+	type unit struct {
+		res *platform.Result
+		rep metricsCountersDelta
+	}
+	nAlgos, nReps := len(algoNames), o.Repeats
+	runs, err := runAll(o.Runner, len(o.Rates)*nAlgos*nReps, func(i int) (unit, error) {
+		ri, rest := i/(nAlgos*nReps), i%(nAlgos*nReps)
+		ai, rep := rest/nReps, rest%nReps
+		seed := o.Seed + int64(rep)*3371
+		stream, err := workload.Generate(cfg, seed)
+		if err != nil {
+			return unit{}, err
+		}
+		var factory platform.MatcherFactory
+		switch algoNames[ai] {
+		case platform.AlgDemCOM:
+			factory = platform.DemCOMFactory(pricing.DefaultMonteCarlo, false)
+		case platform.AlgRamCOM:
+			factory = platform.RamCOMFactory(cfg.MaxValue(), platform.RamCOMOptions{})
+		default:
+			factory = platform.TOTAFactory()
+		}
+		// Each unit run gets its own collector so the resilience
+		// counters can be attributed to the row; the runner's shared
+		// collector (if any) still sees the run through simConfig-less
+		// plumbing being bypassed here intentionally.
+		simCfg := o.Runner.simConfig(seed, false, fmt.Sprintf("faults=%g/%s", o.Rates[ri], algoNames[ai]))
+		simCfg.Faults = planForRate(o.Rates[ri], faultSeedFor(o.FaultSeed, seed))
+		col := newUnitCollector(&simCfg)
+		r, err := platform.Run(stream, factory, simCfg)
+		if err != nil {
+			return unit{}, err
+		}
+		return unit{res: r, rep: countersOf(col)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	base := map[string]FaultSweepRow{}
+	for ri, rate := range o.Rates {
+		for ai, name := range algoNames {
+			row := FaultSweepRow{Rate: rate, Algorithm: name}
+			for rep := 0; rep < nReps; rep++ {
+				u := runs[ri*nAlgos*nReps+ai*nReps+rep]
+				row.Revenue += u.res.TotalRevenue()
+				row.Served += float64(u.res.TotalServed())
+				row.CoR += float64(u.res.CooperativeServed())
+				row.Retries += float64(u.rep.probeRetries)
+				row.Timeouts += float64(u.rep.probeTimeouts)
+				row.BreakerOpened += float64(u.rep.breakerOpened)
+			}
+			n := float64(nReps)
+			row.Revenue /= n
+			row.Served /= n
+			row.CoR /= n
+			row.Retries /= n
+			row.Timeouts /= n
+			row.BreakerOpened /= n
+			if rate == 0 {
+				base[name] = row
+			}
+			if b, ok := base[name]; ok && b.Revenue > 0 {
+				row.RevenueRatio = row.Revenue / b.Revenue
+			}
+			if b, ok := base[name]; ok && b.Served > 0 {
+				row.ServedRatio = row.Served / b.Served
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// faultSeedFor derives the per-run fault seed: an explicit study-level
+// seed wins, otherwise the run seed roots it (matching Plan.Seed == 0
+// semantics but fixed here so the row's repeats differ).
+func faultSeedFor(explicit, runSeed int64) int64 {
+	if explicit != 0 {
+		return explicit + runSeed
+	}
+	return 0 // derive from run seed inside the engine
+}
+
+// metricsCountersDelta carries the per-unit-run resilience counters.
+type metricsCountersDelta struct {
+	probeRetries  int64
+	probeTimeouts int64
+	breakerOpened int64
+}
+
+// newUnitCollector attaches a fresh collector to the unit run's config
+// (keeping any runner-shared collector out of the per-row accounting)
+// and returns it for countersOf.
+func newUnitCollector(cfg *platform.Config) *metrics.Collector {
+	col := metrics.New()
+	cfg.Metrics = col
+	return col
+}
+
+func countersOf(col *metrics.Collector) metricsCountersDelta {
+	c := col.Snapshot().Counters
+	return metricsCountersDelta{
+		probeRetries:  c.ProbeRetries,
+		probeTimeouts: c.ProbeTimeouts,
+		breakerOpened: c.BreakerOpened,
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/parallel"
 	"crossmatch/internal/platform"
@@ -34,6 +35,12 @@ type Runner struct {
 	// interleaving across platforms depends on scheduling. Off by
 	// default.
 	PlatformParallel bool
+	// FaultPlan, when non-nil, injects the same cooperation fault plan
+	// into every unit run (platform.Config.Faults). Fault randomness is
+	// seeded per run, so the determinism guarantee holds for faulted
+	// sequential runs too. Nil (the default) keeps every unit run
+	// bit-identical to the fault-free engine.
+	FaultPlan *fault.Plan
 }
 
 // Sequential returns a runner that executes unit runs inline, one at a
@@ -66,11 +73,19 @@ func (r *Runner) platformParallel() bool {
 	return r.PlatformParallel
 }
 
+// faultPlan returns the attached fault plan (nil-safe).
+func (r *Runner) faultPlan() *fault.Plan {
+	if r == nil {
+		return nil
+	}
+	return r.FaultPlan
+}
+
 // simConfig builds the platform.Config for one unit run, threading the
-// runtime choice, the collector and, when metrics are on, a pprof label
-// naming the run.
+// runtime choice, the fault plan, the collector and, when metrics are
+// on, a pprof label naming the run.
 func (r *Runner) simConfig(seed int64, disableCoop bool, label string) platform.Config {
-	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop, PlatformParallel: r.platformParallel()}
+	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop, PlatformParallel: r.platformParallel(), Faults: r.faultPlan()}
 	if m := r.metricsCollector(); m != nil {
 		cfg.Metrics = m
 		cfg.ProfileLabel = fmt.Sprintf("%s/seed=%d", label, seed)

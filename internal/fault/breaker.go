@@ -1,0 +1,136 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+
+	"crossmatch/internal/core"
+)
+
+// State is a circuit breaker state.
+type State uint8
+
+const (
+	// Closed lets calls through (the healthy state).
+	Closed State = iota
+	// Open short-circuits every call until the cooldown elapses.
+	Open
+	// HalfOpen lets exactly one trial call through; its outcome decides
+	// between Closed and Open.
+	HalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Breaker is a circuit breaker guarding one cooperative platform:
+// FailureThreshold consecutive failed calls open it, an open breaker
+// short-circuits all calls for CooldownTicks of stream time, then a
+// single half-open trial call decides whether the partner recovered.
+// It is safe for concurrent use by the per-platform goroutines of the
+// concurrent runtime; the transition callback fires under the breaker
+// lock and must not call back into it.
+type Breaker struct {
+	cfg          BreakerConfig
+	onTransition func(from, to State)
+
+	mu          sync.Mutex
+	state       State
+	consecutive int
+	openedAt    core.Time
+	trial       bool // half-open trial call in flight
+}
+
+// NewBreaker returns a closed breaker. onTransition, when non-nil,
+// observes every state change (it feeds the breaker-transition
+// counters of the metrics collector).
+func NewBreaker(cfg BreakerConfig, onTransition func(from, to State)) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), onTransition: onTransition}
+}
+
+func (b *Breaker) transition(to State) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
+}
+
+// State returns the current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call to the guarded platform may proceed at
+// stream time now. An open breaker past its cooldown moves to half-open
+// and admits exactly one trial call; concurrent callers are refused
+// until that trial settles through Success or Failure.
+func (b *Breaker) Allow(now core.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now >= b.openedAt+b.cfg.CooldownTicks {
+			b.transition(HalfOpen)
+			b.trial = true
+			return true
+		}
+		return false
+	default: // HalfOpen
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// Success records a completed call: the failure run resets and a
+// half-open breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.trial = false
+	if b.state != Closed {
+		b.transition(Closed)
+	}
+}
+
+// Failure records a failed call at stream time now: a half-open trial
+// reopens the breaker immediately, a closed breaker opens once the
+// consecutive-failure run reaches the threshold.
+func (b *Breaker) Failure(now core.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.trial = false
+	switch b.state {
+	case HalfOpen:
+		b.openedAt = now
+		b.transition(Open)
+	case Closed:
+		b.consecutive++
+		if b.consecutive >= b.cfg.FailureThreshold {
+			b.consecutive = 0
+			b.openedAt = now
+			b.transition(Open)
+		}
+	}
+	// A failure reported against an already-open breaker (a call that
+	// was in flight when it opened) keeps it open; nothing to do.
+}

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/metrics"
+)
+
+// Injector realises a Plan against one run. It is created by the
+// simulation once the platform set is known and consulted by the hub on
+// every cooperative probe (one per partner platform per request) and
+// claim.
+//
+// Determinism: each viewing platform draws its fault outcomes from its
+// own generator, seeded from (plan seed, platform id), so a platform's
+// fault sequence depends only on its own call sequence — fully
+// reproducible under the sequential runtime and independent of the
+// other platforms' schedules under the concurrent one. Injected latency
+// and retry backoff accumulate in a virtual duration budget checked
+// against the per-call deadline; wall-clock sleeps happen only when the
+// plan sets MaxSleep (chaos tests shaking real scheduling).
+//
+// Concurrency: the per-platform generators are partitioned — exactly
+// one goroutine drives each platform, matching the hub's view contract —
+// the maps are read-only after New, and the shared per-partner breakers
+// lock internally.
+type Injector struct {
+	plan     Plan
+	metrics  *metrics.Collector
+	rngs     map[core.PlatformID]*rand.Rand
+	breakers map[core.PlatformID]*Breaker
+}
+
+// seedMix decorrelates per-platform fault streams from the base seed
+// (the signed bit pattern of the 64-bit golden-ratio constant).
+const seedMix = int64(-0x61c8864680b583eb)
+
+// New builds the injector for a run over the given platforms. plan must
+// be non-nil and validated; runSeed supplies the fault seed when the
+// plan leaves Seed zero. m may be nil (counters become no-ops).
+func New(plan *Plan, runSeed int64, pids []core.PlatformID, m *metrics.Collector) *Injector {
+	p := *plan.Clone()
+	p.Retry = p.Retry.withDefaults()
+	p.Breaker = p.Breaker.withDefaults()
+	base := p.Seed
+	if base == 0 {
+		base = runSeed ^ seedMix
+	}
+	in := &Injector{
+		plan:     p,
+		metrics:  m,
+		rngs:     make(map[core.PlatformID]*rand.Rand, len(pids)),
+		breakers: make(map[core.PlatformID]*Breaker, len(pids)),
+	}
+	for _, pid := range pids {
+		in.rngs[pid] = rand.New(rand.NewSource(base ^ (int64(pid)+1)*seedMix))
+		in.breakers[pid] = NewBreaker(p.Breaker, in.observeTransition)
+	}
+	return in
+}
+
+func (in *Injector) observeTransition(_, to State) {
+	switch to {
+	case Open:
+		in.metrics.BreakerOpened()
+	case HalfOpen:
+		in.metrics.BreakerHalfOpened()
+	case Closed:
+		in.metrics.BreakerClosed()
+	}
+}
+
+// BreakerState returns the current breaker state guarding a platform
+// (Closed for unknown platforms).
+func (in *Injector) BreakerState(pid core.PlatformID) State {
+	if b := in.breakers[pid]; b != nil {
+		return b.State()
+	}
+	return Closed
+}
+
+// outage reports whether partner is inside a scheduled outage window at
+// stream time now.
+func (in *Injector) outage(partner core.PlatformID, now core.Time) bool {
+	for _, o := range in.plan.Outages {
+		if o.Platform == partner && o.covers(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// spike injects the latency of one probe attempt: zero, or a spike
+// drawn uniformly from [LatencyMin, LatencyMax]. Real sleep is capped
+// by MaxSleep (zero keeps latency purely virtual).
+func (in *Injector) spike(rng *rand.Rand) time.Duration {
+	if in.plan.LatencyRate <= 0 || rng.Float64() >= in.plan.LatencyRate {
+		return 0
+	}
+	lat := in.plan.LatencyMin
+	if span := in.plan.LatencyMax - in.plan.LatencyMin; span > 0 {
+		lat += time.Duration(rng.Int63n(int64(span) + 1))
+	}
+	in.metrics.FaultLatency()
+	in.metrics.ObserveProbeLatency(lat)
+	if in.plan.MaxSleep > 0 {
+		sleep := lat
+		if sleep > in.plan.MaxSleep {
+			sleep = in.plan.MaxSleep
+		}
+		time.Sleep(sleep)
+	}
+	return lat
+}
+
+// ProbePartner decides whether viewer's cooperative probe of partner
+// succeeds at stream time now, running the deadline/retry/backoff
+// policy and feeding the partner's breaker. false means the partner is
+// dark for this request: the hub skips its pool and the matcher
+// degrades to the remaining platforms (inner-only when all partners are
+// dark).
+func (in *Injector) ProbePartner(viewer, partner core.PlatformID, now core.Time) bool {
+	br := in.breakers[partner]
+	if !br.Allow(now) {
+		in.metrics.BreakerShortCircuit()
+		return false
+	}
+	rng := in.rngs[viewer]
+	elapsed := time.Duration(0)
+	for attempt := 0; attempt < in.plan.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			elapsed += in.plan.Retry.Backoff(attempt-1, rng)
+			in.metrics.ProbeRetry()
+		}
+		ok := true
+		switch {
+		case in.outage(partner, now):
+			in.metrics.FaultOutageHit()
+			ok = false
+		case in.plan.DropRate > 0 && rng.Float64() < in.plan.DropRate:
+			in.metrics.FaultDrop()
+			ok = false
+		default:
+			elapsed += in.spike(rng)
+		}
+		if elapsed > in.plan.Retry.Deadline {
+			in.metrics.ProbeTimeout()
+			br.Failure(now)
+			return false
+		}
+		if ok {
+			br.Success()
+			return true
+		}
+	}
+	br.Failure(now)
+	return false
+}
+
+// ClaimPartner decides whether viewer's cross-platform claim against
+// owner goes through at stream time now, injecting transient claim
+// errors under the same deadline/retry/backoff policy and feeding the
+// owner's breaker. A false return is indistinguishable from a lost
+// claim race to the matcher: it simply tries the next candidate.
+func (in *Injector) ClaimPartner(viewer, owner core.PlatformID, now core.Time) bool {
+	br := in.breakers[owner]
+	if !br.Allow(now) {
+		in.metrics.BreakerShortCircuit()
+		return false
+	}
+	rng := in.rngs[viewer]
+	elapsed := time.Duration(0)
+	for attempt := 0; attempt < in.plan.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			elapsed += in.plan.Retry.Backoff(attempt-1, rng)
+			in.metrics.ProbeRetry()
+		}
+		ok := true
+		switch {
+		case in.outage(owner, now):
+			in.metrics.FaultOutageHit()
+			ok = false
+		case in.plan.ClaimErrorRate > 0 && rng.Float64() < in.plan.ClaimErrorRate:
+			in.metrics.FaultClaimError()
+			ok = false
+		}
+		if elapsed > in.plan.Retry.Deadline {
+			in.metrics.ProbeTimeout()
+			br.Failure(now)
+			return false
+		}
+		if ok {
+			br.Success()
+			return true
+		}
+	}
+	br.Failure(now)
+	return false
+}

@@ -33,6 +33,19 @@ type Collector struct {
 	claimConflicts atomic.Int64
 	claimRetries   atomic.Int64
 
+	// Fault-injection and resilience counters (internal/fault); all stay
+	// zero when no fault plan is configured.
+	faultLatency        atomic.Int64
+	faultDrops          atomic.Int64
+	faultClaimErrors    atomic.Int64
+	faultOutageHits     atomic.Int64
+	probeRetries        atomic.Int64
+	probeTimeouts       atomic.Int64
+	breakerOpened       atomic.Int64
+	breakerHalfOpened   atomic.Int64
+	breakerClosed       atomic.Int64
+	breakerShortCircuit atomic.Int64
+
 	mu      sync.Mutex
 	latency map[string]*stats.Reservoir
 }
@@ -94,9 +107,98 @@ func (c *Collector) AddClaimRetries(n int) {
 	}
 }
 
+// FaultLatency records an injected probe latency spike.
+func (c *Collector) FaultLatency() {
+	if c != nil {
+		c.faultLatency.Add(1)
+	}
+}
+
+// FaultDrop records an injected dropped probe.
+func (c *Collector) FaultDrop() {
+	if c != nil {
+		c.faultDrops.Add(1)
+	}
+}
+
+// FaultClaimError records an injected transient claim error.
+func (c *Collector) FaultClaimError() {
+	if c != nil {
+		c.faultClaimErrors.Add(1)
+	}
+}
+
+// FaultOutageHit records a probe or claim that landed inside a
+// scheduled platform outage window.
+func (c *Collector) FaultOutageHit() {
+	if c != nil {
+		c.faultOutageHits.Add(1)
+	}
+}
+
+// ProbeRetry records one retry of a cooperation call (probe or claim)
+// after a transient injected failure.
+func (c *Collector) ProbeRetry() {
+	if c != nil {
+		c.probeRetries.Add(1)
+	}
+}
+
+// ProbeTimeout records a cooperation call abandoned because its virtual
+// deadline was exhausted by injected latency and backoff.
+func (c *Collector) ProbeTimeout() {
+	if c != nil {
+		c.probeTimeouts.Add(1)
+	}
+}
+
+// BreakerOpened records a circuit breaker opening — from closed after a
+// consecutive-failure run, or from half-open after a failed trial.
+func (c *Collector) BreakerOpened() {
+	if c != nil {
+		c.breakerOpened.Add(1)
+	}
+}
+
+// BreakerHalfOpened records an open breaker admitting a half-open trial
+// call after its cooldown.
+func (c *Collector) BreakerHalfOpened() {
+	if c != nil {
+		c.breakerHalfOpened.Add(1)
+	}
+}
+
+// BreakerClosed records a breaker closing after a successful half-open
+// trial — the partner recovered.
+func (c *Collector) BreakerClosed() {
+	if c != nil {
+		c.breakerClosed.Add(1)
+	}
+}
+
+// BreakerShortCircuit records a cooperation call refused outright
+// because the partner's breaker was open — the degradation signal: the
+// platform matched inner-only against that partner for this request.
+func (c *Collector) BreakerShortCircuit() {
+	if c != nil {
+		c.breakerShortCircuit.Add(1)
+	}
+}
+
 // LockWaitLabel is the latency label under which hub lock-wait
 // observations are reported (see ObserveLockWait).
 const LockWaitLabel = "hub/lock-wait"
+
+// ProbeLatencyLabel is the latency label under which injected probe
+// latency spikes are reported (see ObserveProbeLatency).
+const ProbeLatencyLabel = "hub/probe-latency"
+
+// ObserveProbeLatency folds one injected probe latency spike into the
+// ProbeLatencyLabel reservoir, exposing the injected-latency
+// distribution next to the real decision latencies.
+func (c *Collector) ObserveProbeLatency(d time.Duration) {
+	c.ObserveLatency(ProbeLatencyLabel, d)
+}
 
 // ObserveLockWait folds one hub lock acquisition wait into the
 // LockWaitLabel latency reservoir. The concurrent runtime calls it on
@@ -145,6 +247,20 @@ type Counters struct {
 	// under the concurrent runtime; both stay zero on sequential runs.
 	ClaimConflicts int64 `json:"claim_conflicts"`
 	ClaimRetries   int64 `json:"claim_retries"`
+	// Fault-injection and resilience counters (all zero without a fault
+	// plan): injected faults by kind, cooperation-call retries and
+	// deadline timeouts, circuit-breaker transitions and the calls an
+	// open breaker short-circuited into inner-only degradation.
+	FaultLatencySpikes   int64 `json:"fault_latency_spikes"`
+	FaultDroppedProbes   int64 `json:"fault_dropped_probes"`
+	FaultClaimErrors     int64 `json:"fault_claim_errors"`
+	FaultOutageHits      int64 `json:"fault_outage_hits"`
+	ProbeRetries         int64 `json:"probe_retries"`
+	ProbeTimeouts        int64 `json:"probe_timeouts"`
+	BreakerOpened        int64 `json:"breaker_opened"`
+	BreakerHalfOpened    int64 `json:"breaker_half_opened"`
+	BreakerClosed        int64 `json:"breaker_closed"`
+	BreakerShortCircuits int64 `json:"breaker_short_circuits"`
 }
 
 // LatencySummary is one label's latency distribution in a Report.
@@ -181,6 +297,17 @@ func (c *Collector) Snapshot() Report {
 		AcceptanceProbes: c.probes.Load(),
 		ClaimConflicts:   c.claimConflicts.Load(),
 		ClaimRetries:     c.claimRetries.Load(),
+
+		FaultLatencySpikes:   c.faultLatency.Load(),
+		FaultDroppedProbes:   c.faultDrops.Load(),
+		FaultClaimErrors:     c.faultClaimErrors.Load(),
+		FaultOutageHits:      c.faultOutageHits.Load(),
+		ProbeRetries:         c.probeRetries.Load(),
+		ProbeTimeouts:        c.probeTimeouts.Load(),
+		BreakerOpened:        c.breakerOpened.Load(),
+		BreakerHalfOpened:    c.breakerHalfOpened.Load(),
+		BreakerClosed:        c.breakerClosed.Load(),
+		BreakerShortCircuits: c.breakerShortCircuit.Load(),
 	}}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()

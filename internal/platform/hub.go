@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 	"crossmatch/internal/pricing"
@@ -47,6 +48,16 @@ type Hub struct {
 	// metrics, when non-nil, receives claim-conflict counts and hub
 	// lock-wait observations. Set before the run via SetMetrics.
 	metrics *metrics.Collector
+	// faults, when non-nil, injects cooperation faults and guards every
+	// partner platform with a circuit breaker (see internal/fault). Set
+	// before the run via SetFaults; nil keeps the fault-free hot path
+	// untouched.
+	faults *fault.Injector
+	// sealed flips when the run's (possibly concurrent) consume phase
+	// begins: registration afterwards would race the documented
+	// lock-free reads of pools, order and configuration, so it is
+	// rejected loudly instead of silently corrupting the run.
+	sealed atomic.Bool
 
 	// mu guards the per-worker tables below. Entries exist exactly while
 	// a worker waits: they are deleted when the worker is claimed by a
@@ -71,13 +82,40 @@ func NewHub() *Hub {
 }
 
 // SetMetrics attaches the collector that receives claim-conflict counts
-// and lock-wait observations. Must be called before the run starts.
-func (h *Hub) SetMetrics(m *metrics.Collector) { h.metrics = m }
+// and lock-wait observations. It must be called before the run starts;
+// calling it on a sealed hub panics, because the collector is read
+// without synchronization by the platform goroutines.
+func (h *Hub) SetMetrics(m *metrics.Collector) {
+	if h.sealed.Load() {
+		panic("platform: Hub.SetMetrics called after the concurrent phase started; attach the collector before Run")
+	}
+	h.metrics = m
+}
+
+// SetFaults attaches the fault injector guarding the cooperation path.
+// Like SetMetrics it must run before the concurrent phase; calling it
+// on a sealed hub panics.
+func (h *Hub) SetFaults(in *fault.Injector) {
+	if h.sealed.Load() {
+		panic("platform: Hub.SetFaults called after the concurrent phase started; attach the injector before Run")
+	}
+	h.faults = in
+}
+
+// seal marks the start of the run's consume phase. From here on the
+// pools, platform order, collector and injector are read without
+// locking by the per-platform goroutines, so late registration is a
+// contract violation and is rejected loudly.
+func (h *Hub) seal() { h.sealed.Store(true) }
 
 // RegisterPlatform attaches a platform's waiting-list pool. Must be
 // called once per platform before its workers arrive (and before any
-// concurrent access begins).
+// concurrent access begins); registering on a sealed hub returns an
+// error instead of silently racing the running platform goroutines.
 func (h *Hub) RegisterPlatform(id core.PlatformID, pool *online.Pool) error {
+	if h.sealed.Load() {
+		return fmt.Errorf("platform: RegisterPlatform(%d) called after the concurrent phase started; register every platform before Run", id)
+	}
 	if id == core.NoPlatform {
 		return fmt.Errorf("platform: cannot register the zero platform")
 	}
@@ -162,6 +200,10 @@ func (h *Hub) ViewFor(id core.PlatformID) online.CoopView {
 type hubView struct {
 	hub  *Hub
 	self core.PlatformID
+	// now is the stream time of the request currently being decided,
+	// recorded by EligibleOuter so Claim can place faults and breaker
+	// cooldowns on the stream timeline.
+	now core.Time
 	// cands and workers are per-view scratch, reused across requests so
 	// the hottest cooperative query performs no per-request allocation.
 	// Safe because exactly one platform goroutine drives each view.
@@ -172,14 +214,24 @@ type hubView struct {
 // EligibleOuter implements online.CoopView: unoccupied workers of every
 // other platform satisfying the Definition 2.6 constraints for r. The
 // returned slice is valid until the next call on this view.
+//
+// With a fault injector attached, each partner platform is probed first
+// under the deadline/retry/backoff policy; a partner whose probe fails
+// (or whose circuit breaker is open) contributes no workers, so against
+// fully dark partners the matcher degrades to inner-only (TOTA)
+// matching instead of stalling.
 func (v *hubView) EligibleOuter(r *core.Request) []online.Candidate {
 	h := v.hub
 	if h.CoopDisabled {
 		return nil
 	}
+	v.now = r.Arrival
 	v.workers = v.workers[:0]
 	for _, pid := range h.order {
 		if pid == v.self {
+			continue
+		}
+		if h.faults != nil && !h.faults.ProbePartner(v.self, pid, r.Arrival) {
 			continue
 		}
 		v.workers = h.pools[pid].AppendCovering(v.workers, r)
@@ -227,6 +279,12 @@ func (v *hubView) Claim(workerID int64) bool {
 	if owner == v.self {
 		// Semantic refusal, not a race: the coop view never hands out
 		// a platform's own workers.
+		return false
+	}
+	if h.faults != nil && !h.faults.ClaimPartner(v.self, owner, v.now) {
+		// Injected transient claim error (retries exhausted) or an open
+		// breaker: to the matcher this is indistinguishable from a lost
+		// race — it moves on to the next accepting candidate.
 		return false
 	}
 	if !word.CompareAndSwap(false, true) {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 	"crossmatch/internal/stats"
@@ -63,6 +64,20 @@ type Config struct {
 	// "crossmatch.run" pprof label so CPU profiles of a parallel
 	// experiment attribute samples to individual runs.
 	ProfileLabel string
+	// Faults, when non-nil, injects cooperation faults (latency spikes,
+	// dropped probes, transient claim errors, scheduled platform
+	// outages) into the hub's probe and claim path and guards every
+	// partner platform with a circuit breaker, so the COM matchers
+	// degrade gracefully to inner-only matching against dark partners.
+	// Fault randomness is seeded (Plan.Seed, falling back to Seed), so
+	// sequential faulted runs stay reproducible; matcher randomness is
+	// never touched, and a nil plan leaves the run bit-identical to a
+	// fault-free build. See internal/fault.
+	Faults *fault.Plan
+	// ProbeDeadline, when positive, overrides the fault plan's virtual
+	// per-call deadline for probes and claims. Only meaningful together
+	// with Faults.
+	ProbeDeadline time.Duration
 }
 
 // PlatformResult aggregates one platform's outcomes.
@@ -198,6 +213,10 @@ func runContext(ctx context.Context, stream *core.Stream, factory MatcherFactory
 	if err != nil {
 		return nil, err
 	}
+	// Registration is complete: from here the hub's configuration is
+	// read lock-free by the platform goroutines, so late registration
+	// must fail loudly rather than race.
+	s.hub.seal()
 	if cfg.PlatformParallel && len(s.pids) > 1 {
 		return s.runParallel(ctx)
 	}
@@ -254,6 +273,18 @@ func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runS
 			ID: pid, Name: m.Name(), Matching: core.NewMatching(),
 			Latency: stats.NewReservoir(0, cfg.Seed^int64(pid)),
 		}
+	}
+
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("platform: %w", err)
+		}
+		plan := cfg.Faults
+		if cfg.ProbeDeadline > 0 {
+			plan = plan.Clone()
+			plan.Retry.Deadline = cfg.ProbeDeadline
+		}
+		s.hub.SetFaults(fault.New(plan, cfg.Seed, s.pids, cfg.Metrics))
 	}
 
 	cfg.Metrics.RunStarted()
