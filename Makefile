@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench check clean
+.PHONY: build vet test race bench bench-json check clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Machine-readable numbers for the table benchmarks and the decision
+# tracer's overhead benchmark (ns/op, B/op, allocs/op + custom units),
+# written to BENCH_PR4.json. CI runs this as a smoke — no thresholds.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableSequential$$|BenchmarkTableV|BenchmarkTraceOverhead' -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
 
 check:
 	sh scripts/check.sh

@@ -10,6 +10,7 @@ import (
 	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/platform"
+	"crossmatch/internal/trace"
 	"crossmatch/internal/workload"
 )
 
@@ -75,6 +76,20 @@ type (
 	FaultRetryPolicy = fault.RetryPolicy
 	// FaultBreakerConfig tunes the per-platform circuit breakers.
 	FaultBreakerConfig = fault.BreakerConfig
+	// Tracer records per-request decision spans (stage timings, outcome,
+	// payment, injected faults) into bounded per-platform ring buffers;
+	// attach one with WithTracer and export with its Spans method,
+	// trace.WriteJSONL / trace.WriteChromeTrace, or aggregate with its
+	// Report method.
+	Tracer = trace.Tracer
+	// TraceOptions configures NewTracer: ring capacity per platform,
+	// sampling rate and sampling seed.
+	TraceOptions = trace.Options
+	// TraceSpan is one traced request decision.
+	TraceSpan = trace.Span
+	// TraceReport is the per-algorithm per-stage latency aggregation of a
+	// tracer's retained spans.
+	TraceReport = trace.Report
 )
 
 // ParseFaultPlan parses the textual fault-plan specification used by
@@ -86,6 +101,11 @@ func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(sp
 // NewMetrics returns an empty collector ready to share across
 // concurrent simulations.
 func NewMetrics() *Metrics { return metrics.New() }
+
+// NewTracer returns a decision tracer ready to share across concurrent
+// simulations (see WithTracer). The zero Options trace every request
+// into rings of trace.DefaultCapacity spans per platform.
+func NewTracer(opts TraceOptions) *Tracer { return trace.New(opts) }
 
 // Presets lists the supported Table III dataset presets in the order
 // the paper reports them (Tables V-VII).
@@ -150,6 +170,8 @@ type simConfig struct {
 	profileLabel     string
 	faults           *FaultPlan
 	probeDeadline    time.Duration
+	tracer           *Tracer
+	traceSample      float64
 }
 
 // WithSeed roots all of the run's randomness; the same seed and stream
@@ -214,6 +236,25 @@ func WithProbeDeadline(d time.Duration) Option {
 	return func(c *simConfig) { c.probeDeadline = d }
 }
 
+// WithTracer records each traced request's decision as a span — stage
+// timings (inner lookup, eligibility, pricing, probes, claim), outcome
+// tag, payment, and any faults injected while the decision was in
+// flight — into the tracer's bounded per-platform rings. Tracing never
+// draws from matcher RNGs, so sequential results are bit-identical with
+// tracing on or off. One tracer may be shared by concurrent runs; pass
+// nil to disable (the default).
+func WithTracer(t *Tracer) Option {
+	return func(c *simConfig) { c.tracer = t }
+}
+
+// WithTraceSample overrides the tracer's sampling rate for this run: a
+// rate in (0, 1] traces that fraction of requests, a negative rate
+// disables tracing for this run, and zero (the default) inherits the
+// tracer's configured rate. Only meaningful together with WithTracer.
+func WithTraceSample(rate float64) Option {
+	return func(c *simConfig) { c.traceSample = rate }
+}
+
 // SimulateContext runs the named online algorithm over the stream, one
 // matcher per platform, cooperating through a shared hub. The context
 // cancels mid-stream: the run stops between arrival events and returns
@@ -236,6 +277,8 @@ func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts
 		ProfileLabel:     c.profileLabel,
 		Faults:           c.faults,
 		ProbeDeadline:    c.probeDeadline,
+		Trace:            c.tracer,
+		TraceSample:      c.traceSample,
 	})
 }
 

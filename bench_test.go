@@ -18,6 +18,7 @@ package crossmatch
 
 import (
 	"context"
+	"os"
 	"sync"
 	"testing"
 
@@ -286,3 +287,82 @@ func benchPlatformRuntime(b *testing.B, platformParallel bool) {
 
 func BenchmarkPlatformSequentialRuntime(b *testing.B) { benchPlatformRuntime(b, false) }
 func BenchmarkPlatformParallelRuntime(b *testing.B)   { benchPlatformRuntime(b, true) }
+
+// BenchmarkTraceOverhead prices the decision tracer on a DemCOM
+// simulation: "off" is the production default (no tracer, every span
+// call a nil-receiver no-op), "sampled" traces 10% of requests, "full"
+// traces all of them. The off/full gap is the cost of stage timestamps
+// and ring commits; off vs BenchmarkDecisionLatency history quantifies
+// the nil-path instrumentation itself (see BENCH_PR4.json).
+func BenchmarkTraceOverhead(b *testing.B) {
+	cfg, err := workload.Synthetic(2500, 500, 1.0, "real")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.Generate(cfg, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, opts ...Option) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			all := append([]Option{WithSeed(benchSeed)}, opts...)
+			if _, err := SimulateContext(context.Background(), stream, DemCOM, all...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("sampled", func(b *testing.B) {
+		tr := NewTracer(TraceOptions{Seed: benchSeed})
+		run(b, WithTracer(tr), WithTraceSample(0.1))
+	})
+	b.Run("full", func(b *testing.B) {
+		tr := NewTracer(TraceOptions{Seed: benchSeed})
+		run(b, WithTracer(tr))
+	})
+}
+
+// TestDisabledTracerOverheadGuard asserts the tracing layer's core
+// promise: with no tracer attached, the instrumented engine must run
+// the table workload within 2% of a run that additionally carries a
+// tracer in disabled-sampling mode — i.e. the disabled path is flag
+// checks, not work. Timing assertions are inherently machine-sensitive,
+// so the guard only runs when CROSSMATCH_BENCH_GUARD=1 (the bench-json
+// CI smoke records the numbers without thresholds instead).
+func TestDisabledTracerOverheadGuard(t *testing.T) {
+	if os.Getenv("CROSSMATCH_BENCH_GUARD") != "1" {
+		t.Skip("set CROSSMATCH_BENCH_GUARD=1 to run the timing guard")
+	}
+	p := workload.SyntheticPreset()
+	measure := func(r *experiments.Runner) float64 {
+		best := 0.0
+		for rep := 0; rep < 3; rep++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RunTable(p, experiments.TableOptions{
+						Scale: 0.1, Seed: benchSeed, Repeats: 1, Runner: r,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := float64(res.NsPerOp())
+			if best == 0 || ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	bare := measure(&experiments.Runner{Parallelism: 1})
+	disabled := measure(&experiments.Runner{
+		Parallelism: 1,
+		Trace:       NewTracer(TraceOptions{Seed: benchSeed}),
+		TraceSample: -1, // recorder attached, recording disabled
+	})
+	if ratio := disabled / bare; ratio > 1.02 {
+		t.Errorf("disabled tracer costs %.1f%% (bare %.0fns vs disabled-trace %.0fns); want <= 2%%",
+			(ratio-1)*100, bare, disabled)
+	}
+}

@@ -19,6 +19,12 @@
 // run; see EXPERIMENTS.md "Fault model & degradation" for the grammar
 // (latency=RATE:MIN-MAX, drop=RATE, claimerr=RATE, outage=PID@FROM-UNTIL,
 // deadline, attempts, backoff, threshold, cooldown).
+//
+// The -trace flag records per-request decision spans and prints a
+// per-algorithm stage-latency report after the experiments; -trace-out
+// exports the spans (.jsonl, or Chrome trace-event JSON for Perfetto),
+// -trace-sample thins them, -trace-cap resizes the per-platform rings.
+// See EXPERIMENTS.md "Decision tracing".
 package main
 
 import (
@@ -28,10 +34,13 @@ import (
 	"io"
 	"os"
 
+	"strings"
+
 	"crossmatch/internal/experiments"
 	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/stats"
+	"crossmatch/internal/trace"
 	"crossmatch/internal/workload"
 )
 
@@ -49,6 +58,10 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write an aggregate metrics report as JSON to this file ('-' = stderr)")
 		faultsSpec  = flag.String("faults", "", "cooperation fault plan for every unit run, e.g. 'drop=0.1,latency=0.2:1ms-10ms,outage=2@100-300' (see EXPERIMENTS.md)")
 		faultSeed   = flag.Int64("fault-seed", 0, "root seed for fault randomness (requires -faults; 0 derives it from the run seed)")
+		traceOn     = flag.Bool("trace", false, "record per-request decision spans and print the stage-latency report")
+		traceOut    = flag.String("trace-out", "", "write retained spans to this file: .jsonl = JSONL, anything else = Chrome trace-event JSON loadable in Perfetto (requires -trace)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced, in (0,1]; 0 traces everything (requires -trace)")
+		traceCap    = flag.Int("trace-cap", 0, "span ring capacity per platform (0 = default; oldest spans evicted once full; requires -trace)")
 	)
 	flag.Parse()
 	plan, err := validateFaultFlags(*faultsSpec, *faultSeed, *platpar)
@@ -56,7 +69,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
 		os.Exit(2)
 	}
-	runner := &experiments.Runner{Parallelism: *par, PlatformParallel: *platpar, FaultPlan: plan}
+	tracer, err := validateTraceFlags(*traceOn, *traceOut, *traceSample, *traceCap, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		os.Exit(2)
+	}
+	runner := &experiments.Runner{Parallelism: *par, PlatformParallel: *platpar, FaultPlan: plan, Trace: tracer}
 	if *metricsPath != "" {
 		runner.Metrics = metrics.New()
 	}
@@ -70,6 +88,12 @@ func main() {
 	}
 	if *metricsPath != "" {
 		if err := writeMetrics(*metricsPath, runner.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "combench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if tracer != nil {
+		if err := finishTrace(os.Stdout, tracer, *traceOut, *csvOut); err != nil {
 			fmt.Fprintf(os.Stderr, "combench: %v\n", err)
 			os.Exit(1)
 		}
@@ -95,6 +119,63 @@ func validateFaultFlags(spec string, faultSeed int64, platpar bool) (*fault.Plan
 	}
 	plan.Seed = faultSeed
 	return plan, nil
+}
+
+// validateTraceFlags builds the tracer, rejecting trace flags given
+// without -trace — a -trace-out with no tracer must be a usage error,
+// never a silently missing file.
+func validateTraceFlags(on bool, out string, sample float64, capacity int, seed int64) (*trace.Tracer, error) {
+	if !on {
+		switch {
+		case out != "":
+			return nil, fmt.Errorf("-trace-out requires -trace")
+		case sample != 0:
+			return nil, fmt.Errorf("-trace-sample requires -trace")
+		case capacity != 0:
+			return nil, fmt.Errorf("-trace-cap requires -trace")
+		}
+		return nil, nil
+	}
+	if sample < 0 || sample > 1 {
+		return nil, fmt.Errorf("-trace-sample must be in (0,1], got %g", sample)
+	}
+	if capacity < 0 {
+		return nil, fmt.Errorf("-trace-cap must be positive, got %d", capacity)
+	}
+	return trace.New(trace.Options{Capacity: capacity, Sample: sample, Seed: seed}), nil
+}
+
+// finishTrace prints the stage-latency report and writes the span file
+// (.jsonl = JSONL, anything else = Chrome trace-event JSON).
+func finishTrace(w io.Writer, tracer *trace.Tracer, out string, csvOut bool) error {
+	rep := tracer.Report()
+	var err error
+	if csvOut {
+		err = rep.Table().RenderCSV(w)
+	} else {
+		err = rep.WriteText(w)
+	}
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans := tracer.Spans()
+	if strings.HasSuffix(out, ".jsonl") {
+		err = trace.WriteJSONL(f, spans)
+	} else {
+		err = trace.WriteChromeTrace(f, spans)
+	}
+	if err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 func writeMetrics(path string, c *metrics.Collector) error {

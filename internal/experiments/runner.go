@@ -7,6 +7,7 @@ import (
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/parallel"
 	"crossmatch/internal/platform"
+	"crossmatch/internal/trace"
 )
 
 // Runner is the concurrent experiment engine: every harness in this
@@ -41,6 +42,14 @@ type Runner struct {
 	// sequential runs too. Nil (the default) keeps every unit run
 	// bit-identical to the fault-free engine.
 	FaultPlan *fault.Plan
+	// Trace, when non-nil, records per-request decision spans of every
+	// unit run into the shared tracer's bounded per-platform rings
+	// (platform.Config.Trace). Tracing never touches matcher randomness,
+	// so the determinism guarantee is unaffected. TraceSample optionally
+	// overrides the tracer's sampling rate ((0,1]; negative disables,
+	// zero inherits).
+	Trace       *trace.Tracer
+	TraceSample float64
 }
 
 // Sequential returns a runner that executes unit runs inline, one at a
@@ -86,6 +95,10 @@ func (r *Runner) faultPlan() *fault.Plan {
 // on, a pprof label naming the run.
 func (r *Runner) simConfig(seed int64, disableCoop bool, label string) platform.Config {
 	cfg := platform.Config{Seed: seed, DisableCoop: disableCoop, PlatformParallel: r.platformParallel(), Faults: r.faultPlan()}
+	if r != nil && r.Trace != nil {
+		cfg.Trace = r.Trace
+		cfg.TraceSample = r.TraceSample
+	}
 	if m := r.metricsCollector(); m != nil {
 		cfg.Metrics = m
 		cfg.ProfileLabel = fmt.Sprintf("%s/seed=%d", label, seed)

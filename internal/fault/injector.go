@@ -29,9 +29,52 @@ import (
 type Injector struct {
 	plan     Plan
 	metrics  *metrics.Collector
+	observer Observer
 	rngs     map[core.PlatformID]*rand.Rand
 	breakers map[core.PlatformID]*Breaker
 }
+
+// EventKind labels a fault event surfaced to the Observer.
+type EventKind string
+
+const (
+	// EventProbeFault — a cooperative probe was denied (outage, drop, or
+	// deadline exhaustion across retries).
+	EventProbeFault EventKind = "probe-fault"
+	// EventClaimFault — a cross-platform claim was denied (outage,
+	// transient claim error, or deadline exhaustion).
+	EventClaimFault EventKind = "claim-fault"
+	// EventLatency — the call succeeded but absorbed injected latency
+	// (spikes and/or retry backoff).
+	EventLatency EventKind = "latency"
+	// EventShortCircuit — the partner's breaker was open and the call was
+	// skipped without consuming any fault randomness.
+	EventShortCircuit EventKind = "short-circuit"
+	// EventBreakerOpen / EventBreakerHalfOpen / EventBreakerClosed — the
+	// partner's breaker changed state during the call.
+	EventBreakerOpen     EventKind = "breaker-open"
+	EventBreakerHalfOpen EventKind = "breaker-half-open"
+	EventBreakerClosed   EventKind = "breaker-closed"
+)
+
+// Event is one fault occurrence reported to the Observer. Latency is the
+// virtual latency accumulated during the call (spikes + backoff); From
+// and To are set only on breaker-transition events.
+type Event struct {
+	Kind     EventKind
+	Latency  time.Duration
+	From, To State
+}
+
+// Observer receives fault events as they happen, on the goroutine of the
+// viewing platform (the one issuing the probe or claim). It exists for
+// the tracing layer; observation never alters fault outcomes or RNG
+// consumption, so runs are bit-identical with and without an observer.
+type Observer func(viewer, partner core.PlatformID, ev Event)
+
+// SetObserver installs the fault-event observer. Call it before the run
+// starts consuming events; the field is read concurrently afterwards.
+func (in *Injector) SetObserver(obs Observer) { in.observer = obs }
 
 // seedMix decorrelates per-platform fault streams from the base seed
 // (the signed bit pattern of the 64-bit golden-ratio constant).
@@ -123,12 +166,23 @@ func (in *Injector) spike(rng *rand.Rand) time.Duration {
 // dark).
 func (in *Injector) ProbePartner(viewer, partner core.PlatformID, now core.Time) bool {
 	br := in.breakers[partner]
+	obs := in.observer
+	if obs == nil {
+		ok, _, _ := in.probe(br, viewer, partner, now)
+		return ok
+	}
+	before := br.State()
+	ok, elapsed, short := in.probe(br, viewer, partner, now)
+	in.notify(obs, viewer, partner, before, br.State(), EventProbeFault, elapsed, ok, short)
+	return ok
+}
+
+func (in *Injector) probe(br *Breaker, viewer, partner core.PlatformID, now core.Time) (ok bool, elapsed time.Duration, short bool) {
 	if !br.Allow(now) {
 		in.metrics.BreakerShortCircuit()
-		return false
+		return false, 0, true
 	}
 	rng := in.rngs[viewer]
-	elapsed := time.Duration(0)
 	for attempt := 0; attempt < in.plan.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			elapsed += in.plan.Retry.Backoff(attempt-1, rng)
@@ -148,15 +202,39 @@ func (in *Injector) ProbePartner(viewer, partner core.PlatformID, now core.Time)
 		if elapsed > in.plan.Retry.Deadline {
 			in.metrics.ProbeTimeout()
 			br.Failure(now)
-			return false
+			return false, elapsed, false
 		}
 		if ok {
 			br.Success()
-			return true
+			return true, elapsed, false
 		}
 	}
 	br.Failure(now)
-	return false
+	return false, elapsed, false
+}
+
+// notify translates one guarded call's outcome into observer events: a
+// short-circuit, a denial, or injected-latency-on-success, plus a
+// breaker-transition event when the partner's breaker moved.
+func (in *Injector) notify(obs Observer, viewer, partner core.PlatformID, before, after State, failKind EventKind, lat time.Duration, ok, short bool) {
+	switch {
+	case short:
+		obs(viewer, partner, Event{Kind: EventShortCircuit})
+	case !ok:
+		obs(viewer, partner, Event{Kind: failKind, Latency: lat})
+	case lat > 0:
+		obs(viewer, partner, Event{Kind: EventLatency, Latency: lat})
+	}
+	if after != before {
+		kind := EventBreakerClosed
+		switch after {
+		case Open:
+			kind = EventBreakerOpen
+		case HalfOpen:
+			kind = EventBreakerHalfOpen
+		}
+		obs(viewer, partner, Event{Kind: kind, From: before, To: after})
+	}
 }
 
 // ClaimPartner decides whether viewer's cross-platform claim against
@@ -166,12 +244,23 @@ func (in *Injector) ProbePartner(viewer, partner core.PlatformID, now core.Time)
 // claim race to the matcher: it simply tries the next candidate.
 func (in *Injector) ClaimPartner(viewer, owner core.PlatformID, now core.Time) bool {
 	br := in.breakers[owner]
+	obs := in.observer
+	if obs == nil {
+		ok, _, _ := in.claim(br, viewer, owner, now)
+		return ok
+	}
+	before := br.State()
+	ok, elapsed, short := in.claim(br, viewer, owner, now)
+	in.notify(obs, viewer, owner, before, br.State(), EventClaimFault, elapsed, ok, short)
+	return ok
+}
+
+func (in *Injector) claim(br *Breaker, viewer, owner core.PlatformID, now core.Time) (ok bool, elapsed time.Duration, short bool) {
 	if !br.Allow(now) {
 		in.metrics.BreakerShortCircuit()
-		return false
+		return false, 0, true
 	}
 	rng := in.rngs[viewer]
-	elapsed := time.Duration(0)
 	for attempt := 0; attempt < in.plan.Retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			elapsed += in.plan.Retry.Backoff(attempt-1, rng)
@@ -189,13 +278,13 @@ func (in *Injector) ClaimPartner(viewer, owner core.PlatformID, now core.Time) b
 		if elapsed > in.plan.Retry.Deadline {
 			in.metrics.ProbeTimeout()
 			br.Failure(now)
-			return false
+			return false, elapsed, false
 		}
 		if ok {
 			br.Success()
-			return true
+			return true, elapsed, false
 		}
 	}
 	br.Failure(now)
-	return false
+	return false, elapsed, false
 }

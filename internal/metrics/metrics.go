@@ -312,13 +312,16 @@ func (c *Collector) Snapshot() Report {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()
 	for label, r := range c.latency {
+		// One sorted snapshot serves all three percentiles (Percentile
+		// re-sorts the reservoir sample on every call).
+		q := r.Quantiles([]float64{0.50, 0.95, 0.99})
 		rep.Latencies = append(rep.Latencies, LatencySummary{
 			Label:   label,
 			Count:   r.Count(),
 			MeanMs:  ms(r.Mean()),
-			P50Ms:   ms(r.Percentile(0.50)),
-			P95Ms:   ms(r.Percentile(0.95)),
-			P99Ms:   ms(r.Percentile(0.99)),
+			P50Ms:   ms(q[0]),
+			P95Ms:   ms(q[1]),
+			P99Ms:   ms(q[2]),
 			MaxMs:   ms(r.Max()),
 			TotalMs: ms(r.Sum()),
 		})

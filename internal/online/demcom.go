@@ -6,6 +6,7 @@ import (
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/pricing"
+	"crossmatch/internal/trace"
 )
 
 // DemCOM is the deterministic cross online matching algorithm
@@ -21,6 +22,11 @@ type DemCOM struct {
 	coop CoopView
 	mc   pricing.MonteCarlo
 	rng  *rand.Rand
+	tr   *trace.Recorder
+	// accepting is the reused probe-result scratch consumed in place by
+	// the claim loop; one goroutine drives a matcher, so reuse across
+	// requests is race-free.
+	accepting []Candidate
 
 	// PaymentOracle, when true, replaces the Algorithm 2 estimator with
 	// the exact minimum acceptable payment (the cheapest history value
@@ -48,47 +54,70 @@ func (m *DemCOM) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
 // Pool exposes the inner waiting list.
 func (m *DemCOM) Pool() *Pool { return m.pool }
 
+// BindTrace attaches the per-request decision tracer (nil detaches).
+func (m *DemCOM) BindTrace(rc *trace.Recorder) { m.tr = rc }
+
 // RequestArrives implements Matcher (Algorithm 1).
 func (m *DemCOM) RequestArrives(r *core.Request) Decision {
+	sp := m.tr.Begin(r)
+	d := m.decide(r, sp)
+	sp.Finish(string(d.Reason), d.Assignment.Payment, d.Probes, d.ClaimRetries)
+	return d
+}
+
+func (m *DemCOM) decide(r *core.Request, sp *trace.Span) Decision {
 	// Lines 3-6: nearest available inner worker wins outright.
-	if w, ok := claimNearestInner(m.pool, r); ok {
+	t := sp.StageStart()
+	w, ok := claimNearestInner(m.pool, r)
+	sp.EndStage(trace.StageInner, t)
+	if ok {
 		return Decision{
 			Served:     true,
+			Reason:     ReasonInner,
 			Assignment: core.Assignment{Request: r, Worker: w},
 		}
 	}
 
 	// Line 8: eligible outer workers.
+	t = sp.StageStart()
 	cands := m.coop.EligibleOuter(r)
+	sp.EndStage(trace.StageEligibility, t)
 	if len(cands) == 0 {
-		return Decision{} // lines 9-10: reject
+		return Decision{Reason: ReasonNoWorkers} // lines 9-10: reject
 	}
 
 	// Line 12: estimate the minimum outer payment.
+	t = sp.StageStart()
 	payment := m.estimatePayment(r, cands)
+	sp.EndStage(trace.StagePricing, t)
 	if payment > r.Value {
 		// Lines 13-14: serving would lose money; reject. The request
 		// still counts as cooperative-attempted for AcpRt.
-		return Decision{CoopAttempted: true}
+		return Decision{CoopAttempted: true, Reason: ReasonUnprofitable}
 	}
 
 	// Lines 15-20: probe each eligible worker's willingness at v'.
 	probes := len(cands)
-	accepting := probeAccepting(cands, payment, m.rng)
-	if len(accepting) == 0 {
-		return Decision{CoopAttempted: true, Probes: probes} // line 26
+	t = sp.StageStart()
+	m.accepting = appendAccepting(m.accepting[:0], cands, payment, m.rng)
+	sp.EndStage(trace.StageProbes, t)
+	if len(m.accepting) == 0 {
+		return Decision{CoopAttempted: true, Probes: probes, Reason: ReasonNoAcceptor} // line 26
 	}
 
 	// Lines 21-24: nearest accepting worker, claimed atomically.
-	best, retries, ok := claimNearestAccepting(m.coop, accepting, r)
+	t = sp.StageStart()
+	best, retries, ok := claimNearestAccepting(m.coop, m.accepting, r)
+	sp.EndStage(trace.StageClaim, t)
 	if !ok {
-		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries}
+		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries, Reason: ReasonClaimsLost}
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
 		Probes:        probes,
 		ClaimRetries:  retries,
+		Reason:        ReasonOuter,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,

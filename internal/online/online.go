@@ -64,10 +64,43 @@ func (NoCoop) EligibleOuter(*core.Request) []Candidate { return nil }
 // Claim implements CoopView.
 func (NoCoop) Claim(int64) bool { return false }
 
+// Reason tags how a decision ended; it is the outcome vocabulary of the
+// per-request tracing layer (internal/trace) and reads as the span's
+// "outcome" field in exports.
+type Reason string
+
+const (
+	// ReasonInner — served by the nearest (or, RamCOM high-value branch,
+	// a random) inner worker.
+	ReasonInner Reason = "inner"
+	// ReasonInnerFallback — RamCOM's low-value cooperative path failed
+	// and an idle inner worker served the request instead.
+	ReasonInnerFallback Reason = "inner-fallback"
+	// ReasonOuter — served by a claimed outer worker at payment v'.
+	ReasonOuter Reason = "outer"
+	// ReasonNoWorkers — no available inner worker and no eligible outer
+	// candidate.
+	ReasonNoWorkers Reason = "no-workers"
+	// ReasonUnprofitable — the outer payment quote exceeded the request
+	// value (Algorithm 1 lines 13-14).
+	ReasonUnprofitable Reason = "unprofitable"
+	// ReasonNoAcceptor — every probed candidate declined the payment.
+	ReasonNoAcceptor Reason = "no-acceptor"
+	// ReasonClaimsLost — every accepting candidate was claimed by
+	// another platform first.
+	ReasonClaimsLost Reason = "claims-lost"
+	// ReasonBelowThreshold — Greedy-RT rejected the request for falling
+	// below its randomized value threshold.
+	ReasonBelowThreshold Reason = "below-threshold"
+)
+
 // Decision records the outcome of one request arrival.
 type Decision struct {
 	Assignment core.Assignment
 	Served     bool
+	// Reason tags how the decision ended (see the Reason constants);
+	// the tracing layer exports it as the span outcome.
+	Reason Reason
 	// CoopAttempted is true when the request was offered to outer
 	// workers (it became a "cooperative request"), regardless of
 	// whether any accepted. AcpRt in the evaluation is
@@ -152,34 +185,38 @@ func (s *Stats) MeanPaymentRate() float64 {
 	return s.PaymentRate / float64(s.ServedOuter)
 }
 
-// probeAccepting samples each candidate's willingness to serve at the
-// given payment (Algorithm 1, lines 17-20) and returns the accepting
-// subset, preserving order.
-func probeAccepting(cands []Candidate, payment float64, rng *rand.Rand) []Candidate {
-	accepting := cands[:0:0]
+// appendAccepting samples each candidate's willingness to serve at the
+// given payment (Algorithm 1, lines 17-20) and appends the accepting
+// subset to dst, preserving order. Callers pass a matcher-owned scratch
+// slice (reset with dst[:0]) so the hottest cooperative path performs
+// no per-request allocation; rng consumption is one draw per candidate,
+// identical to the previous fresh-slice implementation.
+func appendAccepting(dst, cands []Candidate, payment float64, rng *rand.Rand) []Candidate {
 	for _, c := range cands {
 		if c.History.Accepts(payment, rng) {
-			accepting = append(accepting, c)
+			dst = append(dst, c)
 		}
 	}
-	return accepting
+	return dst
 }
 
-// nearestCandidate returns the candidate whose worker is closest to the
-// request, ties broken by smallest worker ID; ok=false on empty input.
-func nearestCandidate(cands []Candidate, r *core.Request) (Candidate, bool) {
-	if len(cands) == 0 {
-		return Candidate{}, false
-	}
-	best := cands[0]
-	bestD := best.Worker.Loc.Dist2(r.Loc)
-	for _, c := range cands[1:] {
+// nearestIndex returns the index of the candidate whose worker is
+// closest to the request, ties broken by smallest worker ID. The result
+// is independent of candidate order (the minimum under the strict
+// (distance, ID) lexicographic order, with unique IDs), which is what
+// lets the claim loop swap-delete without perturbing selection order.
+// Callers guarantee len(cands) > 0.
+func nearestIndex(cands []Candidate, r *core.Request) int {
+	best := 0
+	bestD := cands[0].Worker.Loc.Dist2(r.Loc)
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
 		d := c.Worker.Loc.Dist2(r.Loc)
-		if d < bestD || (d == bestD && c.Worker.ID < best.Worker.ID) {
-			best, bestD = c, d
+		if d < bestD || (d == bestD && c.Worker.ID < cands[best].Worker.ID) {
+			best, bestD = i, d
 		}
 	}
-	return best, true
+	return best
 }
 
 // claimNearestAccepting walks accepting candidates from nearest to
@@ -187,22 +224,25 @@ func nearestCandidate(cands []Candidate, r *core.Request) (Candidate, bool) {
 // 21-24, hardened against concurrent claims by other platforms). It
 // also reports how many claims were lost on the way — zero in the
 // sequential runtime, the contention signal under the concurrent one.
+//
+// cands must be owned by the caller (the matchers pass their accepting
+// scratch): lost claims are removed in place by swap-delete, replacing
+// the previous per-request copy and O(n²) scan-and-delete. Selection
+// order is unchanged — each round still picks the exact
+// nearest-then-smallest-ID candidate among those remaining, an order-
+// independent choice.
 func claimNearestAccepting(coop CoopView, cands []Candidate, r *core.Request) (Candidate, int, bool) {
-	remaining := append([]Candidate(nil), cands...)
 	retries := 0
-	for len(remaining) > 0 {
-		best, _ := nearestCandidate(remaining, r)
+	for len(cands) > 0 {
+		bi := nearestIndex(cands, r)
+		best := cands[bi]
 		if coop.Claim(best.Worker.ID) {
 			return best, retries, true
 		}
 		// Claimed elsewhere between eligibility and now; drop and retry.
 		retries++
-		for i, c := range remaining {
-			if c.Worker.ID == best.Worker.ID {
-				remaining = append(remaining[:i], remaining[i+1:]...)
-				break
-			}
-		}
+		cands[bi] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
 	}
 	return Candidate{}, retries, false
 }

@@ -6,6 +6,7 @@ import (
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/pricing"
+	"crossmatch/internal/trace"
 )
 
 // RamCOM is the randomized cross online matching algorithm
@@ -24,10 +25,14 @@ type RamCOM struct {
 	coop      CoopView
 	rng       *rand.Rand
 	threshold float64
+	tr        *trace.Recorder
 	// covScratch is the reused buffer of the high-value branch's
 	// coverage query; a matcher is driven by one goroutine, so reuse
 	// across requests is race-free.
 	covScratch []*core.Worker
+	// accepting is the reused probe-result scratch consumed in place by
+	// the claim loop.
+	accepting []Candidate
 
 	// ThresholdPricing, when true, replaces the exact expected-revenue
 	// maximization with the 1/e-style randomized threshold quote
@@ -89,13 +94,24 @@ func (m *RamCOM) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
 // Pool exposes the inner waiting list.
 func (m *RamCOM) Pool() *Pool { return m.pool }
 
+// BindTrace attaches the per-request decision tracer (nil detaches).
+func (m *RamCOM) BindTrace(rc *trace.Recorder) { m.tr = rc }
+
 // RequestArrives implements Matcher (Algorithm 3).
 func (m *RamCOM) RequestArrives(r *core.Request) Decision {
+	sp := m.tr.Begin(r)
+	d := m.decide(r, sp)
+	sp.Finish(string(d.Reason), d.Assignment.Payment, d.Probes, d.ClaimRetries)
+	return d
+}
+
+func (m *RamCOM) decide(r *core.Request, sp *trace.Span) Decision {
 	if r.Value > m.threshold {
 		// Lines 4-8: random available inner worker. The removal can lose
 		// to a concurrent cross-platform claim, in which case the
 		// remaining candidates are re-queried and redrawn; sequentially
 		// the first removal always succeeds and rng use is unchanged.
+		t := sp.StageStart()
 		for {
 			m.covScratch = m.pool.AppendCovering(m.covScratch[:0], r)
 			cands := m.covScratch
@@ -106,68 +122,85 @@ func (m *RamCOM) RequestArrives(r *core.Request) Decision {
 			if !m.pool.Remove(w.ID) {
 				continue
 			}
+			sp.EndStage(trace.StageInner, t)
 			return Decision{
 				Served:     true,
+				Reason:     ReasonInner,
 				Assignment: core.Assignment{Request: r, Worker: w},
 			}
 		}
+		sp.EndStage(trace.StageInner, t)
 		// No free inner worker: fall through to the cooperative path
 		// (Example 3's handling of r3).
 	}
 
 	// Lines 9-11: price the cooperative request and run Algorithm 1's
 	// outer-assignment block (lines 13-26).
-	if d, served := m.tryOuter(r); served {
+	if d, served := m.tryOuter(r, sp); served {
 		return d
 	} else if r.Value > m.threshold {
 		// The high-value branch already found no free inner worker.
 		return d
 	} else if m.NoInnerFallback {
 		return d
-	} else if w, ok := claimNearestInner(m.pool, r); ok {
+	} else {
+		t := sp.StageStart()
+		w, ok := claimNearestInner(m.pool, r)
+		sp.EndStage(trace.StageInner, t)
+		if !ok {
+			return d
+		}
 		// Inner fallback: an idle inner worker beats rejection.
 		return Decision{
 			Served:        true,
 			CoopAttempted: d.CoopAttempted,
 			Probes:        d.Probes,
 			ClaimRetries:  d.ClaimRetries,
+			Reason:        ReasonInnerFallback,
 			Assignment:    core.Assignment{Request: r, Worker: w},
 		}
-	} else {
-		return d
 	}
 }
 
 // tryOuter runs the cooperative path; served reports whether the request
 // was assigned.
-func (m *RamCOM) tryOuter(r *core.Request) (Decision, bool) {
+func (m *RamCOM) tryOuter(r *core.Request, sp *trace.Span) (Decision, bool) {
+	t := sp.StageStart()
 	cands := m.coop.EligibleOuter(r)
+	sp.EndStage(trace.StageEligibility, t)
 	if len(cands) == 0 {
-		return Decision{}, false
+		return Decision{Reason: ReasonNoWorkers}, false
 	}
+	t = sp.StageStart()
 	group := make([]*pricing.History, len(cands))
 	for i, c := range cands {
 		group[i] = c.History
 	}
 	payment, ok := m.quote(r, group)
+	sp.EndStage(trace.StagePricing, t)
 	if !ok || payment > r.Value {
-		return Decision{CoopAttempted: true}, false
+		return Decision{CoopAttempted: true, Reason: ReasonUnprofitable}, false
 	}
 
 	probes := len(cands)
-	accepting := probeAccepting(cands, payment, m.rng)
-	if len(accepting) == 0 {
-		return Decision{CoopAttempted: true, Probes: probes}, false
+	t = sp.StageStart()
+	m.accepting = appendAccepting(m.accepting[:0], cands, payment, m.rng)
+	sp.EndStage(trace.StageProbes, t)
+	if len(m.accepting) == 0 {
+		return Decision{CoopAttempted: true, Probes: probes, Reason: ReasonNoAcceptor}, false
 	}
-	best, retries, claimed := claimNearestAccepting(m.coop, accepting, r)
+	t = sp.StageStart()
+	best, retries, claimed := claimNearestAccepting(m.coop, m.accepting, r)
+	sp.EndStage(trace.StageClaim, t)
 	if !claimed {
-		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries}, false
+		return Decision{CoopAttempted: true, Probes: probes, ClaimRetries: retries, Reason: ReasonClaimsLost}, false
 	}
 	return Decision{
 		Served:        true,
 		CoopAttempted: true,
 		Probes:        probes,
 		ClaimRetries:  retries,
+		Reason:        ReasonOuter,
 		Assignment: core.Assignment{
 			Request: r,
 			Worker:  best.Worker,

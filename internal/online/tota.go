@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/trace"
 )
 
 // TOTAGreedy is the traditional online task assignment baseline [9]: an
@@ -13,6 +14,7 @@ import (
 // special case W_out = empty of the COM problem.
 type TOTAGreedy struct {
 	pool *Pool
+	tr   *trace.Recorder
 }
 
 // NewTOTAGreedy returns the baseline matcher over a fresh pool.
@@ -28,14 +30,23 @@ func (m *TOTAGreedy) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
 // this platform's unoccupied workers with cooperating platforms).
 func (m *TOTAGreedy) Pool() *Pool { return m.pool }
 
+// BindTrace attaches the per-request decision tracer (nil detaches).
+func (m *TOTAGreedy) BindTrace(rc *trace.Recorder) { m.tr = rc }
+
 // RequestArrives implements Matcher.
 func (m *TOTAGreedy) RequestArrives(r *core.Request) Decision {
+	sp := m.tr.Begin(r)
+	t := sp.StageStart()
 	w, ok := claimNearestInner(m.pool, r)
+	sp.EndStage(trace.StageInner, t)
 	if !ok {
-		return Decision{}
+		sp.Finish(string(ReasonNoWorkers), 0, 0, 0)
+		return Decision{Reason: ReasonNoWorkers}
 	}
+	sp.Finish(string(ReasonInner), 0, 0, 0)
 	return Decision{
 		Served:     true,
+		Reason:     ReasonInner,
 		Assignment: core.Assignment{Request: r, Worker: w},
 	}
 }
@@ -66,6 +77,7 @@ func claimNearestInner(pool *Pool, r *core.Request) (*core.Worker, bool) {
 type GreedyRT struct {
 	pool      *Pool
 	threshold float64
+	tr        *trace.Recorder
 }
 
 // NewGreedyRT builds the matcher; maxValue is the a-priori bound Umax on
@@ -94,17 +106,27 @@ func (m *GreedyRT) WorkerArrives(w *core.Worker) { m.pool.Add(w) }
 // Pool exposes the inner waiting list.
 func (m *GreedyRT) Pool() *Pool { return m.pool }
 
+// BindTrace attaches the per-request decision tracer (nil detaches).
+func (m *GreedyRT) BindTrace(rc *trace.Recorder) { m.tr = rc }
+
 // RequestArrives implements Matcher.
 func (m *GreedyRT) RequestArrives(r *core.Request) Decision {
+	sp := m.tr.Begin(r)
 	if r.Value < m.threshold {
-		return Decision{}
+		sp.Finish(string(ReasonBelowThreshold), 0, 0, 0)
+		return Decision{Reason: ReasonBelowThreshold}
 	}
+	t := sp.StageStart()
 	w, ok := claimNearestInner(m.pool, r)
+	sp.EndStage(trace.StageInner, t)
 	if !ok {
-		return Decision{}
+		sp.Finish(string(ReasonNoWorkers), 0, 0, 0)
+		return Decision{Reason: ReasonNoWorkers}
 	}
+	sp.Finish(string(ReasonInner), 0, 0, 0)
 	return Decision{
 		Served:     true,
+		Reason:     ReasonInner,
 		Assignment: core.Assignment{Request: r, Worker: w},
 	}
 }

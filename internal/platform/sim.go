@@ -15,6 +15,7 @@ import (
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 	"crossmatch/internal/stats"
+	"crossmatch/internal/trace"
 )
 
 // MatcherFactory builds one platform's online matcher. coop is that
@@ -25,6 +26,10 @@ type MatcherFactory func(id core.PlatformID, coop online.CoopView, rng *rand.Ran
 // poolHolder is implemented by every matcher in this repository; the
 // simulation uses it to wire the matcher's waiting list into the hub.
 type poolHolder interface{ Pool() *online.Pool }
+
+// traceBinder is implemented by matchers that can record per-request
+// decision spans; matchers without it simply run untraced.
+type traceBinder interface{ BindTrace(*trace.Recorder) }
 
 // Config controls a simulation run.
 type Config struct {
@@ -78,6 +83,18 @@ type Config struct {
 	// per-call deadline for probes and claims. Only meaningful together
 	// with Faults.
 	ProbeDeadline time.Duration
+	// Trace, when non-nil, records per-request decision spans (stage
+	// timings, outcome, payment, faults) into the tracer's bounded
+	// per-platform rings. Tracing never draws from matcher RNGs, so a
+	// sequential run's matching result is bit-identical with tracing on,
+	// off, or sampled. Safe to share one tracer across the unit runs of
+	// an experiment, like Metrics. See internal/trace.
+	Trace *trace.Tracer
+	// TraceSample overrides the tracer's sampling rate for this run:
+	// zero inherits the tracer's configured rate, a value in (0, 1] sets
+	// it, and a negative value disables recording for this run. Only
+	// meaningful together with Trace.
+	TraceSample float64
 }
 
 // PlatformResult aggregates one platform's outcomes.
@@ -275,6 +292,7 @@ func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runS
 		}
 	}
 
+	var inj *fault.Injector
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
 			return nil, fmt.Errorf("platform: %w", err)
@@ -284,7 +302,31 @@ func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runS
 			plan = plan.Clone()
 			plan.Retry.Deadline = cfg.ProbeDeadline
 		}
-		s.hub.SetFaults(fault.New(plan, cfg.Seed, s.pids, cfg.Metrics))
+		inj = fault.New(plan, cfg.Seed, s.pids, cfg.Metrics)
+		s.hub.SetFaults(inj)
+	}
+
+	if cfg.Trace != nil {
+		recs := make(map[core.PlatformID]*trace.Recorder, len(s.pids))
+		for _, pid := range s.pids {
+			rc := cfg.Trace.Recorder(cfg.Seed, pid, s.matchers[pid].Name(), cfg.TraceSample)
+			recs[pid] = rc
+			if tb, ok := s.matchers[pid].(traceBinder); ok {
+				tb.BindTrace(rc)
+			}
+		}
+		if inj != nil {
+			// Attribute injected faults and breaker transitions to the
+			// decision in flight on the viewing platform. The observer runs
+			// on the viewer's goroutine, matching the recorder's
+			// single-goroutine contract; observation never alters fault
+			// outcomes or RNG draws.
+			inj.SetObserver(func(viewer, partner core.PlatformID, ev fault.Event) {
+				if sp := recs[viewer].Active(); sp != nil {
+					sp.Fault(partner, string(ev.Kind), ev.Latency)
+				}
+			})
+		}
 	}
 
 	cfg.Metrics.RunStarted()

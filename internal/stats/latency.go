@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -70,19 +71,46 @@ func (r *Reservoir) Mean() time.Duration {
 }
 
 // Percentile estimates the q-quantile (q in [0, 1]) from the sample
-// using nearest-rank on the sorted sample; 0 with no observations.
+// using nearest-rank on the sorted sample; 0 with no observations or a
+// NaN q. Each call sorts a fresh snapshot — callers needing several
+// quantiles should use Quantiles, which sorts once.
 func (r *Reservoir) Percentile(q float64) time.Duration {
-	if len(r.sample) == 0 {
+	if len(r.sample) == 0 || math.IsNaN(q) {
 		return 0
 	}
+	sorted := append([]time.Duration(nil), r.sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return nearestRank(sorted, q)
+}
+
+// Quantiles estimates every q in qs (each in [0, 1]) from a single
+// sorted snapshot of the sample, so report builders pay one sort per
+// reservoir instead of one per quantile. The result aligns with qs; a
+// NaN q, like an empty reservoir, yields 0.
+func (r *Reservoir) Quantiles(qs []float64) []time.Duration {
+	out := make([]time.Duration, len(qs))
+	if len(r.sample) == 0 || len(qs) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), r.sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, q := range qs {
+		if !math.IsNaN(q) {
+			out[i] = nearestRank(sorted, q)
+		}
+	}
+	return out
+}
+
+// nearestRank picks the nearest-rank q-quantile from an ascending
+// sample; q is clamped to [0, 1] and must not be NaN.
+func nearestRank(sorted []time.Duration, q float64) time.Duration {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	sorted := append([]time.Duration(nil), r.sample...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	idx := int(q*float64(len(sorted))) - 1
 	if idx < 0 {
 		idx = 0
@@ -93,23 +121,75 @@ func (r *Reservoir) Percentile(q float64) time.Duration {
 	return sorted[idx]
 }
 
-// Merge folds another reservoir's exact aggregates and sample into r
-// (sample merging is approximate: donors are re-observed with their
-// original weight approximated by uniform thinning).
+// Merge folds another reservoir's exact aggregates and sample into r.
+// The merged sample is a count-weighted draw without replacement from
+// both samples: each side's items are taken with probability
+// proportional to the observation count still unrepresented on that
+// side, so a donor summarizing 100 observations cannot displace half
+// the slots of a receiver summarizing 100,000 (which the previous
+// flat-probability merge did, biasing merged percentiles toward the
+// donor).
 func (r *Reservoir) Merge(o *Reservoir) {
-	if o == nil {
+	if o == nil || o.count == 0 {
 		return
+	}
+	if r.count > 0 && len(o.sample) > 0 {
+		r.sample = r.mergeSamples(o)
+	} else if len(o.sample) > 0 {
+		// Nothing on the receiving side: adopt a uniform subsample of
+		// the donor (its capacity may exceed ours).
+		r.sample = r.drawFrom(o.sample, r.capacity)
 	}
 	r.count += o.count
 	r.sum += o.sum
 	if o.max > r.max {
 		r.max = o.max
 	}
-	for _, d := range o.sample {
-		if len(r.sample) < r.capacity {
-			r.sample = append(r.sample, d)
-		} else if k := r.rng.Int63n(int64(len(r.sample) * 2)); k < int64(r.capacity) {
-			r.sample[k%int64(r.capacity)] = d
+}
+
+// mergeSamples draws the merged sample. Both samples are uniform over
+// their sources, so each item of side s stands for count_s/len(sample_s)
+// observations; drawing sides with probability proportional to their
+// remaining weight yields a uniform sample over the union.
+func (r *Reservoir) mergeSamples(o *Reservoir) []time.Duration {
+	rs := append([]time.Duration(nil), r.sample...)
+	os := append([]time.Duration(nil), o.sample...)
+	m := len(rs) + len(os)
+	if m > r.capacity {
+		m = r.capacity
+	}
+	perR := float64(r.count) / float64(len(rs))
+	perO := float64(o.count) / float64(len(os))
+	wr, wo := float64(r.count), float64(o.count)
+	merged := make([]time.Duration, 0, m)
+	for len(merged) < m {
+		takeR := len(os) == 0 || (len(rs) > 0 && r.rng.Float64()*(wr+wo) < wr)
+		if takeR {
+			i := r.rng.Intn(len(rs))
+			merged = append(merged, rs[i])
+			rs[i] = rs[len(rs)-1]
+			rs = rs[:len(rs)-1]
+			wr -= perR
+		} else {
+			j := r.rng.Intn(len(os))
+			merged = append(merged, os[j])
+			os[j] = os[len(os)-1]
+			os = os[:len(os)-1]
+			wo -= perO
 		}
 	}
+	return merged
+}
+
+// drawFrom returns up to n items drawn uniformly without replacement.
+func (r *Reservoir) drawFrom(src []time.Duration, n int) []time.Duration {
+	s := append([]time.Duration(nil), src...)
+	if n >= len(s) {
+		return s
+	}
+	for i := 0; i < n; i++ {
+		j := i + r.rng.Intn(len(s)-i)
+		s[i], s[j] = s[j], s[i]
+	}
+	return s[:n]
 }

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"testing"
 	"time"
 )
@@ -89,6 +90,130 @@ func TestReservoirMerge(t *testing.T) {
 	a.Merge(nil) // no-op
 	if a.Count() != 100 {
 		t.Error("nil merge changed count")
+	}
+}
+
+// TestReservoirMergeCountWeighted pins the merge-bias fix: a small
+// donor merged into a large receiver must occupy sample slots roughly in
+// proportion to its observation count, not (as the old flat-probability
+// merge did) roughly half of them.
+func TestReservoirMergeCountWeighted(t *testing.T) {
+	const cap = 512
+	big := NewReservoir(cap, 1)
+	for i := 0; i < 50000; i++ {
+		big.Observe(time.Millisecond) // receiver: 50k fast observations
+	}
+	small := NewReservoir(cap, 2)
+	for i := 0; i < 500; i++ {
+		small.Observe(100 * time.Millisecond) // donor: 500 slow outliers
+	}
+	big.Merge(small)
+
+	if big.Count() != 50500 {
+		t.Fatalf("merged Count = %d", big.Count())
+	}
+	donor := 0
+	for _, d := range big.sample {
+		if d == 100*time.Millisecond {
+			donor++
+		}
+	}
+	// Expected donor share: 500/50500 of cap ~= 5 slots. Allow wide
+	// randomness headroom; the old merge put ~cap/2 (~256) donor items in.
+	if donor > cap/8 {
+		t.Errorf("donor holds %d of %d slots; merge still biased toward the donor", donor, cap)
+	}
+	// The merged tail must still be dominated by the receiver: p50 and
+	// p90 are 1ms, and the donor outliers cannot drag p50 upward.
+	if p := big.Percentile(0.5); p != time.Millisecond {
+		t.Errorf("merged p50 = %v, want 1ms", p)
+	}
+	if p := big.Percentile(0.9); p != time.Millisecond {
+		t.Errorf("merged p90 = %v, want 1ms", p)
+	}
+}
+
+// TestReservoirMergeSkewedDistribution merges two skewed reservoirs of
+// comparable weight and checks the merged quantiles land between the
+// sources according to their counts.
+func TestReservoirMergeSkewedDistribution(t *testing.T) {
+	fast := NewReservoir(1024, 3)
+	for i := 0; i < 30000; i++ {
+		fast.Observe(time.Millisecond)
+	}
+	slow := NewReservoir(1024, 4)
+	for i := 0; i < 10000; i++ {
+		slow.Observe(10 * time.Millisecond)
+	}
+	fast.Merge(slow)
+	// Mixture: 75% at 1ms, 25% at 10ms. p50 must be 1ms, p90 must be
+	// 10ms, and the slow side's sample share should be ~25%.
+	if p := fast.Percentile(0.5); p != time.Millisecond {
+		t.Errorf("merged p50 = %v, want 1ms", p)
+	}
+	if p := fast.Percentile(0.9); p != 10*time.Millisecond {
+		t.Errorf("merged p90 = %v, want 10ms", p)
+	}
+	slowShare := 0
+	for _, d := range fast.sample {
+		if d == 10*time.Millisecond {
+			slowShare++
+		}
+	}
+	frac := float64(slowShare) / float64(len(fast.sample))
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("slow-side sample share = %.3f, want ~0.25", frac)
+	}
+}
+
+// TestReservoirMergeIntoEmpty covers adoption of a donor by an empty
+// receiver, including a donor sample larger than the receiver capacity.
+func TestReservoirMergeIntoEmpty(t *testing.T) {
+	donor := NewReservoir(256, 5)
+	for i := 1; i <= 200; i++ {
+		donor.Observe(time.Duration(i) * time.Millisecond)
+	}
+	dst := NewReservoir(64, 6)
+	dst.Merge(donor)
+	if dst.Count() != 200 || dst.Max() != 200*time.Millisecond {
+		t.Fatalf("adopted aggregates wrong: count=%d max=%v", dst.Count(), dst.Max())
+	}
+	if len(dst.sample) != 64 {
+		t.Fatalf("adopted sample size = %d, want capacity 64", len(dst.sample))
+	}
+	p50 := float64(dst.Percentile(0.5)) / float64(time.Millisecond)
+	if p50 < 60 || p50 > 140 {
+		t.Errorf("adopted p50 = %vms, want ~100ms", p50)
+	}
+}
+
+func TestReservoirQuantilesMatchPercentile(t *testing.T) {
+	r := NewReservoir(4096, 7)
+	for i := 1; i <= 10000; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	qs := []float64{0, 0.5, 0.95, 0.99, 1}
+	got := r.Quantiles(qs)
+	for i, q := range qs {
+		if want := r.Percentile(q); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, Percentile = %v", q, got[i], want)
+		}
+	}
+	if out := r.Quantiles(nil); len(out) != 0 {
+		t.Errorf("Quantiles(nil) = %v", out)
+	}
+}
+
+func TestReservoirNaNQuantile(t *testing.T) {
+	r := NewReservoir(16, 8)
+	r.Observe(time.Millisecond)
+	nan := math.NaN()
+	if p := r.Percentile(nan); p != 0 {
+		t.Errorf("Percentile(NaN) = %v, want 0", p)
+	}
+	got := r.Quantiles([]float64{0.5, nan, 1})
+	if got[0] != time.Millisecond || got[1] != 0 || got[2] != time.Millisecond {
+		t.Errorf("Quantiles with NaN = %v", got)
 	}
 }
 
