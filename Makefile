@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json check clean
+.PHONY: build vet test race bench bench-json check serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -19,13 +19,20 @@ bench:
 
 # Machine-readable numbers for the table benchmarks and the decision
 # tracer's overhead benchmark (ns/op, B/op, allocs/op + custom units),
-# written to BENCH_PR4.json. CI runs this as a smoke — no thresholds.
+# written to BENCH_$(BENCH_LABEL).json. CI runs this as a smoke — no
+# thresholds.
+BENCH_LABEL ?= PR5
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableSequential$$|BenchmarkTableV|BenchmarkTraceOverhead' -benchmem . \
-		| $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL)
 
 check:
 	sh scripts/check.sh
+
+# End-to-end serving smoke: boot comserve in replay mode, push the
+# stream through comload, assert matches land and SIGTERM drains clean.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

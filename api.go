@@ -174,6 +174,29 @@ type simConfig struct {
 	traceSample      float64
 }
 
+// platformConfig lowers the functional options into the runtime Config —
+// the single mapping shared by SimulateContext, NewEngine and
+// SimulateSource, so every entry point interprets the options
+// identically.
+func platformConfig(opts []Option) platform.Config {
+	var c simConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return platform.Config{
+		Seed:             c.seed,
+		DisableCoop:      c.disableCoop,
+		ServiceTicks:     c.serviceTicks,
+		PlatformParallel: c.platformParallel,
+		Metrics:          c.metrics,
+		ProfileLabel:     c.profileLabel,
+		Faults:           c.faults,
+		ProbeDeadline:    c.probeDeadline,
+		Trace:            c.tracer,
+		TraceSample:      c.traceSample,
+	}
+}
+
 // WithSeed roots all of the run's randomness; the same seed and stream
 // give the same result.
 func WithSeed(seed int64) Option {
@@ -260,26 +283,11 @@ func WithTraceSample(rate float64) Option {
 // cancels mid-stream: the run stops between arrival events and returns
 // the partial result alongside an error wrapping ctx.Err().
 func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts ...Option) (*SimResult, error) {
-	var c simConfig
-	for _, opt := range opts {
-		opt(&c)
-	}
 	factory, err := platform.FactoryFor(algorithm, stream.MaxValue())
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
-	return platform.RunContext(ctx, stream, factory, platform.Config{
-		Seed:             c.seed,
-		DisableCoop:      c.disableCoop,
-		ServiceTicks:     c.serviceTicks,
-		PlatformParallel: c.platformParallel,
-		Metrics:          c.metrics,
-		ProfileLabel:     c.profileLabel,
-		Faults:           c.faults,
-		ProbeDeadline:    c.probeDeadline,
-		Trace:            c.tracer,
-		TraceSample:      c.traceSample,
-	})
+	return platform.RunContext(ctx, stream, factory, platformConfig(opts))
 }
 
 // SimOptions configures Simulate.
@@ -310,6 +318,85 @@ func Simulate(stream *Stream, algorithm string, opts SimOptions) (*SimResult, er
 		options = append(options, WithCoopDisabled())
 	}
 	return SimulateContext(context.Background(), stream, algorithm, options...)
+}
+
+// Serving seam: the incremental engine behind the live matching
+// service (cmd/comserve). Where SimulateContext consumes a pre-built
+// Stream, these entry points accept arrivals one at a time — from a
+// socket, a queue, a generator — under the same determinism contract:
+// feeding a validated stream's events in order reproduces
+// SimulateContext bit for bit.
+type (
+	// Event is one arrival (worker or request) on the virtual timeline.
+	Event = core.Event
+	// EventKind discriminates worker from request arrivals.
+	EventKind = core.EventKind
+	// MatchEngine is the incremental runtime: one Process call per
+	// arrival event, decisions returned synchronously, Finish for the
+	// accumulated result. Single-goroutine: exactly one caller may drive
+	// it (see platform.Engine).
+	MatchEngine = platform.Engine
+	// EngineDecision is the serving-facing outcome of one request
+	// arrival: who served it, at what payment, and why.
+	EngineDecision = platform.RequestDecision
+	// ArrivalSource yields arrival events one at a time; Next returns
+	// io.EOF when exhausted. SimulateSource pulls a whole run from one.
+	ArrivalSource = platform.EventSource
+)
+
+// Event kinds.
+const (
+	WorkerArrival  = core.WorkerArrival
+	RequestArrival = core.RequestArrival
+)
+
+// Engine lifecycle errors; match with errors.Is.
+var (
+	// ErrEngineClosed reports a MatchEngine driven after Finish.
+	ErrEngineClosed = platform.ErrEngineClosed
+	// ErrTimeRegression reports an event fed out of time order.
+	ErrTimeRegression = platform.ErrTimeRegression
+)
+
+// NewEngine builds an incremental matching engine for the named
+// algorithm over the given platform set (ascending IDs for parity with
+// stream runs). maxValue is the a-priori max request value Umax the
+// threshold algorithms (RamCOM, Greedy-RT) assume known; TOTA and
+// DemCOM ignore it. The usual options apply; WithPlatformParallel is
+// meaningless here (the engine is single-goroutine by contract) and is
+// ignored.
+func NewEngine(pids []PlatformID, algorithm string, maxValue float64, opts ...Option) (*MatchEngine, error) {
+	factory, err := platform.FactoryFor(algorithm, maxValue)
+	if err != nil {
+		return nil, fmt.Errorf("crossmatch: %w", err)
+	}
+	cfg := platformConfig(opts)
+	cfg.PlatformParallel = false
+	eng, err := platform.NewEngine(pids, factory, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("crossmatch: %w", err)
+	}
+	return eng, nil
+}
+
+// StreamArrivals adapts a pre-built stream to an ArrivalSource;
+// SimulateSource over it reproduces SimulateContext on the same stream.
+func StreamArrivals(s *Stream) ArrivalSource { return platform.StreamSource(s) }
+
+// SimulateSource runs the named algorithm over arrivals pulled from an
+// ArrivalSource — SimulateContext for callers whose events materialize
+// over time. The source's platform set and max value cannot be derived
+// up front, so both are explicit. Cancellation mirrors SimulateContext:
+// the run stops at the next event boundary and returns the partial
+// result alongside an error wrapping ctx.Err().
+func SimulateSource(ctx context.Context, pids []PlatformID, algorithm string, maxValue float64, src ArrivalSource, opts ...Option) (*SimResult, error) {
+	factory, err := platform.FactoryFor(algorithm, maxValue)
+	if err != nil {
+		return nil, fmt.Errorf("crossmatch: %w", err)
+	}
+	cfg := platformConfig(opts)
+	cfg.PlatformParallel = false
+	return platform.RunSource(ctx, pids, factory, src, cfg)
 }
 
 // Offline computes the OFF baseline: the offline optimum of COM as an

@@ -1,143 +1,61 @@
-// Command benchjson converts `go test -bench` output into a stable JSON
-// document for checking benchmark numbers into the repository and for
-// machine comparison across commits (e.g. BENCH_PR4.json, emitted by
-// `make bench-json`). It reads the benchmark text from stdin and writes
-// one JSON object: environment header fields plus one entry per
-// benchmark with ns/op, B/op, allocs/op and any custom ReportMetric
-// units.
+// Command benchjson converts `go test -bench` output into the stable
+// JSON document of internal/benchfmt, for checking benchmark numbers
+// into the repository and for machine comparison across commits. It
+// reads the benchmark text from stdin and writes one JSON object:
+// environment header fields plus one entry per benchmark with ns/op,
+// B/op, allocs/op and any custom ReportMetric units.
+//
+// The -label flag names the snapshot: it is stamped into the document
+// ("label" field) and, when -out is not given, into the output file
+// name BENCH_<label>.json (e.g. -label PR5 writes BENCH_PR5.json).
+// Without either flag the JSON goes to stdout.
 //
 // Usage:
 //
-//	go test -run '^$' -bench 'Table|TraceOverhead' -benchmem . | benchjson -out BENCH.json
+//	go test -run '^$' -bench 'Table|TraceOverhead' -benchmem . | benchjson -label PR5
+//	go test -run '^$' -bench . -benchmem . | benchjson -out BENCH.json
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strconv"
 	"strings"
+
+	"crossmatch/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	Name        string             `json:"name"`
-	Runs        int64              `json:"runs"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
 func main() {
-	out := flag.String("out", "", "write JSON here instead of stdout")
+	out := flag.String("out", "", "write JSON here (overrides the -label file name); empty with no -label writes stdout")
+	label := flag.String("label", "", "snapshot label stamped into the document and, without -out, the file name BENCH_<label>.json")
 	flag.Parse()
-	rep, err := parse(bufio.NewScanner(os.Stdin))
-	if err != nil {
+	if err := run(*out, *label); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func run(out, label string) error {
+	if label != "" && strings.ContainsAny(label, "/\\ ") {
+		return fmt.Errorf("label %q must not contain path separators or spaces", label)
+	}
+	rep, err := benchfmt.Parse(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("%v (pipe `go test -bench` output in)", err)
+	}
+	rep.Label = label
+	if out == "" && label != "" {
+		out = "BENCH_" + label + ".json"
+	}
 	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", out)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-}
-
-func parse(sc *bufio.Scanner) (*Report, error) {
-	rep := &Report{}
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos: "):
-			rep.Goos = strings.TrimPrefix(line, "goos: ")
-		case strings.HasPrefix(line, "goarch: "):
-			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
-		case strings.HasPrefix(line, "pkg: "):
-			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
-		case strings.HasPrefix(line, "cpu: "):
-			rep.CPU = strings.TrimPrefix(line, "cpu: ")
-		case strings.HasPrefix(line, "Benchmark"):
-			b, err := parseLine(line)
-			if err != nil {
-				return nil, err
-			}
-			rep.Benchmarks = append(rep.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(rep.Benchmarks) == 0 {
-		return nil, fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench` output in)")
-	}
-	sort.SliceStable(rep.Benchmarks, func(i, j int) bool {
-		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
-	})
-	return rep, nil
-}
-
-// parseLine parses one result line:
-//
-//	BenchmarkName-8  10  118866999 ns/op  19828373 B/op  21541 allocs/op  0.029 DemCOM-rev
-func parseLine(line string) (Benchmark, error) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Benchmark{}, fmt.Errorf("short benchmark line: %q", line)
-	}
-	name := strings.TrimPrefix(fields[0], "Benchmark")
-	// Strip the -GOMAXPROCS suffix so names compare across machines.
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, fmt.Errorf("bad run count in %q: %w", line, err)
-	}
-	b := Benchmark{Name: name, Runs: runs}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, fmt.Errorf("bad value %q in %q: %w", fields[i], line, err)
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			b.NsPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsPerOp = v
-		default:
-			if b.Metrics == nil {
-				b.Metrics = map[string]float64{}
-			}
-			b.Metrics[unit] = v
-		}
-	}
-	return b, nil
+	return rep.WriteJSON(w)
 }

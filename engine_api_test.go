@@ -1,0 +1,106 @@
+package crossmatch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"crossmatch/internal/geo"
+)
+
+// TestNewEngineMatchesSimulate drives the public incremental engine
+// with a stream's events and expects the SimulateContext result.
+func TestNewEngineMatchesSimulate(t *testing.T) {
+	stream, err := GenerateSynthetic(200, 150, 1.0, "real", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulateContext(context.Background(), stream, DemCOM, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := NewEngine(stream.Platforms(), DemCOM, stream.MaxValue(), WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decided, served int
+	for _, ev := range stream.Events() {
+		d, err := eng.Process(ev)
+		if err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		if ev.Kind == RequestArrival {
+			decided++
+			if d.Served {
+				served++
+			}
+		}
+	}
+	got, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRevenue() != want.TotalRevenue() || got.TotalServed() != want.TotalServed() {
+		t.Fatalf("engine revenue/served %v/%d, simulate %v/%d",
+			got.TotalRevenue(), got.TotalServed(), want.TotalRevenue(), want.TotalServed())
+	}
+	if served != want.TotalServed() || decided != len(stream.Requests()) {
+		t.Fatalf("per-decision accounting: served %d of %d, want %d of %d",
+			served, decided, want.TotalServed(), len(stream.Requests()))
+	}
+
+	// Closed-engine contract.
+	if _, err := eng.Finish(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("second Finish: %v", err)
+	}
+	if _, err := eng.Process(Event{}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Process after Finish: %v", err)
+	}
+}
+
+// TestSimulateSourceMatchesSimulate checks the pull-based entry point
+// against the stream-based one.
+func TestSimulateSourceMatchesSimulate(t *testing.T) {
+	stream, err := GenerateSynthetic(150, 100, 1.0, "real", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SimulateContext(context.Background(), stream, RamCOM, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateSource(context.Background(), stream.Platforms(), RamCOM,
+		stream.MaxValue(), StreamArrivals(stream), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRevenue() != want.TotalRevenue() || got.TotalServed() != want.TotalServed() {
+		t.Fatalf("source revenue/served %v/%d, simulate %v/%d",
+			got.TotalRevenue(), got.TotalServed(), want.TotalRevenue(), want.TotalServed())
+	}
+}
+
+func TestNewEngineUnknownAlgorithm(t *testing.T) {
+	if _, err := NewEngine([]PlatformID{1}, "Magic", 0); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("want ErrUnknownAlgorithm, got %v", err)
+	}
+}
+
+func TestEngineTimeRegressionPublic(t *testing.T) {
+	eng, err := NewEngine([]PlatformID{1}, TOTA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := &Worker{ID: 1, Arrival: 5, Loc: geo.Point{X: 0.5, Y: 0.5}, Radius: 1, Platform: 1}
+	if _, err := eng.Process(Event{Kind: WorkerArrival, Time: 5, Worker: w1}); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &Worker{ID: 2, Arrival: 3, Loc: geo.Point{X: 0.5, Y: 0.5}, Radius: 1, Platform: 1}
+	if _, err := eng.Process(Event{Kind: WorkerArrival, Time: 3, Worker: w2}); !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("want ErrTimeRegression, got %v", err)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package benchfmt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: crossmatch
+cpu: AMD EPYC 7B13
+BenchmarkTableSequential-8   	      10	  85800000 ns/op	19828373 B/op	   21541 allocs/op	     0.029 DemCOM-rev
+BenchmarkTraceOverhead-8     	     100	   1200000 ns/op
+PASS
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "crossmatch" {
+		t.Fatalf("header mismatch: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rep.Benchmarks))
+	}
+	// Sorted by name: TableSequential before TraceOverhead.
+	b := rep.Benchmarks[0]
+	if b.Name != "TableSequential" || b.Runs != 10 || b.NsPerOp != 85800000 ||
+		b.BytesPerOp != 19828373 || b.AllocsPerOp != 21541 {
+		t.Fatalf("benchmark mismatch: %+v", b)
+	}
+	if b.Metrics["DemCOM-rev"] != 0.029 {
+		t.Fatalf("custom metric missing: %+v", b.Metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("want error for input without benchmark lines")
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX",
+		"BenchmarkX notanint 5 ns/op",
+		"BenchmarkX 3 bad ns/op",
+	} {
+		if _, err := ParseLine(line); err == nil {
+			t.Fatalf("want error for %q", line)
+		}
+	}
+}
+
+func TestWriteJSONRoundTripsLabel(t *testing.T) {
+	rep := &Report{Label: "PR5", Benchmarks: []Benchmark{{Name: "ServeLoad", Runs: 3, NsPerOp: 1e6}}}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back.Label != "PR5" || len(back.Benchmarks) != 1 || back.Benchmarks[0].Name != "ServeLoad" {
+		t.Fatalf("round trip mismatch: %+v", back)
+	}
+}

@@ -1,0 +1,255 @@
+package platform
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/online"
+)
+
+// ErrEngineClosed is the typed error returned when an Engine is driven
+// after Finish — the "already run" guard of the incremental runtime.
+// Before the serving layer existed every run was a one-shot Run call
+// that rebuilt its state from scratch, so a second run on the same
+// (sealed) machinery was silently impossible; with a long-lived engine
+// handle it is a real caller bug and is rejected loudly. Match it with
+// errors.Is.
+var ErrEngineClosed = errors.New("engine already finished")
+
+// ErrTimeRegression is the typed error returned when an event is fed
+// with an arrival time earlier than one already processed: the engine's
+// determinism contract requires the global arrival sequence to be
+// non-decreasing, exactly like a validated Stream. Match it with
+// errors.Is.
+var ErrTimeRegression = errors.New("event time regression")
+
+// RecycleIDBase is the first worker ID an Engine mints for recycled
+// workers (ServiceTicks > 0) when no explicit base is set: high enough
+// that externally supplied worker IDs never collide with it. Replay
+// callers that need bit-parity with a stream run instead seed the
+// allocator with the stream's maximum worker ID via SetRecycleBase.
+const RecycleIDBase int64 = 1 << 40
+
+// RequestDecision is the serving-facing outcome of one request event:
+// who served it (if anyone), at what payment, and why it ended the way
+// it did. Process returns the zero RequestDecision for worker arrivals.
+type RequestDecision struct {
+	// Request is the decided request.
+	Request *core.Request
+	// Served reports whether any worker took the request.
+	Served bool
+	// Reason tags how the decision ended (online.Reason vocabulary:
+	// "inner", "outer", "no-workers", "unprofitable", ...).
+	Reason online.Reason
+	// Worker is the assigned worker; nil when unserved.
+	Worker *core.Worker
+	// Outer is true when Worker belongs to another platform.
+	Outer bool
+	// Payment is the outer payment v' (zero for inner assignments).
+	Payment float64
+	// Revenue is what the request's platform books (v, or v − v').
+	Revenue float64
+}
+
+// Engine is the incremental counterpart of Run: the same deterministic
+// sequential runtime, fed one arrival event at a time instead of a
+// pre-built stream slice. It is what lets a server drive the matchers
+// from a live socket — events arrive, decisions return synchronously —
+// while a replayed recorded stream reproduces Run bit for bit.
+//
+// The engine is single-goroutine: exactly one caller (the serving
+// layer's sequencer) may invoke Process and Finish, in event-time
+// order. Feeding the events of a validated stream in order, with
+// SetRecycleBase(max worker ID) when ServiceTicks is in play, yields a
+// Result bit-identical to Run on that stream with the same Config.
+type Engine struct {
+	s        *runState
+	recycle  recycleHeap
+	recycled int
+	last     core.Time
+	started  bool
+	finished bool
+}
+
+// NewEngine builds an engine for the given platform set. The order of
+// pids determines per-platform RNG derivation: pass ascending IDs
+// (stream.Platforms() order) for parity with stream runs. The matcher
+// factory is the same one Run takes; threshold algorithms need their
+// a-priori max value folded into the factory by the caller.
+func NewEngine(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*Engine, error) {
+	s, err := newRunStateFor(pids, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// The engine is the run's consume phase from its first event on;
+	// sealing here keeps the hub's lock-free configuration reads safe
+	// and makes late RegisterPlatform fail loudly, exactly like Run.
+	s.hub.seal()
+	s.nextID.Store(RecycleIDBase)
+	return &Engine{s: s}, nil
+}
+
+// SetRecycleBase seeds the recycled-worker ID allocator: the next
+// recycled worker gets base+1, matching Run's allocation from the
+// stream's maximum worker ID. It must be called before the first event;
+// afterwards it returns an error so a mid-run rebase can never fork the
+// ID sequence away from a replayed run.
+func (e *Engine) SetRecycleBase(base int64) error {
+	if e.started || e.finished {
+		return fmt.Errorf("platform: SetRecycleBase after the first event; seed the allocator before feeding")
+	}
+	e.s.nextID.Store(base)
+	return nil
+}
+
+// Process feeds one arrival event. Worker arrivals join their
+// platform's waiting list and return the zero RequestDecision; request
+// arrivals are decided immediately (the online constraint) and return
+// the decision. Recycled workers due at or before the event's time are
+// delivered first, exactly as the stream runtime does. Events must be
+// fed in non-decreasing time order; a regression returns an error
+// wrapping ErrTimeRegression, and any call after Finish returns one
+// wrapping ErrEngineClosed.
+func (e *Engine) Process(ev core.Event) (RequestDecision, error) {
+	if e.finished {
+		return RequestDecision{}, fmt.Errorf("platform: %w", ErrEngineClosed)
+	}
+	if e.started && ev.Time < e.last {
+		return RequestDecision{}, fmt.Errorf("platform: %w: event at %d after %d", ErrTimeRegression, ev.Time, e.last)
+	}
+	e.started = true
+	e.last = ev.Time
+	for len(e.recycle) > 0 && e.recycle[0].Arrival <= ev.Time {
+		w := heap.Pop(&e.recycle).(*core.Worker)
+		if err := e.s.deliver(w); err != nil {
+			return RequestDecision{}, err
+		}
+		e.recycled++
+	}
+	switch ev.Kind {
+	case core.WorkerArrival:
+		// Keep the recycled-ID allocator above every externally supplied
+		// worker ID so live traffic can never collide with a mint.
+		if id := ev.Worker.ID; id > e.s.nextID.Load() {
+			e.s.nextID.Store(id)
+		}
+		if err := e.s.deliver(ev.Worker); err != nil {
+			return RequestDecision{}, err
+		}
+		return RequestDecision{}, nil
+	case core.RequestArrival:
+		d, reborn, err := e.s.handleRequest(ev)
+		if err != nil {
+			return RequestDecision{}, err
+		}
+		if reborn != nil {
+			heap.Push(&e.recycle, reborn)
+		}
+		rd := RequestDecision{Request: ev.Request, Served: d.Served, Reason: d.Reason}
+		if d.Served {
+			rd.Worker = d.Assignment.Worker
+			rd.Outer = d.Assignment.Outer
+			rd.Payment = d.Assignment.Payment
+			rd.Revenue = d.Assignment.Revenue()
+		}
+		return rd, nil
+	default:
+		return RequestDecision{}, fmt.Errorf("platform: unknown event kind %d", ev.Kind)
+	}
+}
+
+// Finish flushes the pending recycle heap (every completed service
+// counts as a re-arrival, mirroring the end-of-stream flush of the
+// batch runtime) and returns the accumulated Result. The engine is
+// closed afterwards: further Process or Finish calls return an error
+// wrapping ErrEngineClosed.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return nil, fmt.Errorf("platform: %w", ErrEngineClosed)
+	}
+	e.finished = true
+	for len(e.recycle) > 0 {
+		w := heap.Pop(&e.recycle).(*core.Worker)
+		if err := e.s.deliver(w); err != nil {
+			return nil, err
+		}
+		e.recycled++
+	}
+	e.s.res.Recycled = e.recycled
+	e.s.res.Lent = e.s.hub.Lent()
+	return e.s.res, nil
+}
+
+// EventSource yields arrival events one at a time — the pull-based
+// counterpart of a Stream for callers whose arrivals materialize over
+// time (a socket, a queue, a generator). Next returns io.EOF when the
+// source is exhausted; any other error aborts the run.
+type EventSource interface {
+	Next(ctx context.Context) (core.Event, error)
+}
+
+// streamSource adapts a pre-built stream to EventSource.
+type streamSource struct {
+	events []core.Event
+	i      int
+}
+
+func (ss *streamSource) Next(context.Context) (core.Event, error) {
+	if ss.i >= len(ss.events) {
+		return core.Event{}, io.EOF
+	}
+	ev := ss.events[ss.i]
+	ss.i++
+	return ev, nil
+}
+
+// StreamSource returns an EventSource replaying the stream's events in
+// arrival order; RunSource over it reproduces Run on the same stream.
+func StreamSource(s *core.Stream) EventSource {
+	return &streamSource{events: s.Events()}
+}
+
+// RunSource executes an event source against one matcher per platform —
+// Run with arrivals pulled incrementally instead of sliced up front.
+// Cancellation mirrors RunContext: when ctx is canceled the run stops
+// at the next event boundary and returns the partial Result alongside
+// an error wrapping ctx.Err().
+func RunSource(ctx context.Context, pids []core.PlatformID, factory MatcherFactory, src EventSource, cfg Config) (*Result, error) {
+	eng, err := NewEngine(pids, factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; ; i++ {
+		if i&cancelCheckMask == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				res, ferr := eng.Finish()
+				if ferr != nil {
+					return nil, ferr
+				}
+				return res, fmt.Errorf("platform: run stopped after %d events: %w", i, cerr)
+			}
+		}
+		ev, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				res, ferr := eng.Finish()
+				if ferr != nil {
+					return nil, ferr
+				}
+				return res, fmt.Errorf("platform: run stopped after %d events: %w", i, err)
+			}
+			return nil, fmt.Errorf("platform: event source: %w", err)
+		}
+		if _, err := eng.Process(ev); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Finish()
+}

@@ -1,0 +1,289 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/workload"
+)
+
+func feedTestStream(t *testing.T, requests, workers int, seed int64) *core.Stream {
+	t.Helper()
+	cfg, err := workload.Synthetic(requests, workers, 1.0, "real")
+	if err != nil {
+		t.Fatalf("Synthetic: %v", err)
+	}
+	stream, err := workload.Generate(cfg, seed)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return stream
+}
+
+// assertSameResult compares two results bit for bit: revenue, counters,
+// and every assignment (request, worker, payment) in insertion order.
+func assertSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if w, g := want.TotalRevenue(), got.TotalRevenue(); w != g {
+		t.Fatalf("revenue: want %v, got %v", w, g)
+	}
+	if w, g := want.TotalServed(), got.TotalServed(); w != g {
+		t.Fatalf("served: want %d, got %d", w, g)
+	}
+	if w, g := want.Recycled, got.Recycled; w != g {
+		t.Fatalf("recycled: want %d, got %d", w, g)
+	}
+	if len(want.Platforms) != len(got.Platforms) {
+		t.Fatalf("platforms: want %d, got %d", len(want.Platforms), len(got.Platforms))
+	}
+	for pid, wp := range want.Platforms {
+		gp := got.Platforms[pid]
+		if gp == nil {
+			t.Fatalf("platform %d missing", pid)
+		}
+		if wp.Stats != gp.Stats {
+			t.Fatalf("platform %d stats: want %+v, got %+v", pid, wp.Stats, gp.Stats)
+		}
+		wa, ga := wp.Matching.Assignments(), gp.Matching.Assignments()
+		if len(wa) != len(ga) {
+			t.Fatalf("platform %d assignments: want %d, got %d", pid, len(wa), len(ga))
+		}
+		for i := range wa {
+			if wa[i].Request.ID != ga[i].Request.ID || wa[i].Worker.ID != ga[i].Worker.ID ||
+				wa[i].Payment != ga[i].Payment || wa[i].Outer != ga[i].Outer {
+				t.Fatalf("platform %d assignment %d: want r%d<-w%d pay %v outer %v, got r%d<-w%d pay %v outer %v",
+					pid, i, wa[i].Request.ID, wa[i].Worker.ID, wa[i].Payment, wa[i].Outer,
+					ga[i].Request.ID, ga[i].Worker.ID, ga[i].Payment, ga[i].Outer)
+			}
+		}
+	}
+}
+
+// TestEngineMatchesRun feeds a stream's events through the incremental
+// Engine and asserts the result is bit-identical to the batch Run —
+// with and without worker recycling (which exercises SetRecycleBase).
+func TestEngineMatchesRun(t *testing.T) {
+	stream := feedTestStream(t, 400, 120, 7)
+	for _, alg := range []string{AlgTOTA, AlgDemCOM, AlgRamCOM} {
+		for _, ticks := range []core.Time{0, 3} {
+			factory, err := FactoryFor(alg, stream.MaxValue())
+			if err != nil {
+				t.Fatalf("FactoryFor(%s): %v", alg, err)
+			}
+			cfg := Config{Seed: 99, ServiceTicks: ticks}
+			want, err := Run(stream, factory, cfg)
+			if err != nil {
+				t.Fatalf("%s ticks=%d: Run: %v", alg, ticks, err)
+			}
+			eng, err := NewEngine(stream.Platforms(), factory, cfg)
+			if err != nil {
+				t.Fatalf("%s ticks=%d: NewEngine: %v", alg, ticks, err)
+			}
+			if err := eng.SetRecycleBase(maxWorkerID(stream)); err != nil {
+				t.Fatalf("SetRecycleBase: %v", err)
+			}
+			for _, ev := range stream.Events() {
+				if _, err := eng.Process(ev); err != nil {
+					t.Fatalf("%s ticks=%d: Process: %v", alg, ticks, err)
+				}
+			}
+			got, err := eng.Finish()
+			if err != nil {
+				t.Fatalf("%s ticks=%d: Finish: %v", alg, ticks, err)
+			}
+			assertSameResult(t, want, got)
+		}
+	}
+}
+
+// TestEngineDecisions checks the per-request decisions the engine hands
+// back agree with the result it accumulates.
+func TestEngineDecisions(t *testing.T) {
+	stream := feedTestStream(t, 300, 100, 11)
+	factory, err := FactoryFor(AlgDemCOM, stream.MaxValue())
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	eng, err := NewEngine(stream.Platforms(), factory, Config{Seed: 5})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	served, revenue := 0, 0.0
+	for _, ev := range stream.Events() {
+		d, err := eng.Process(ev)
+		if err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		if ev.Kind == core.WorkerArrival {
+			if d.Request != nil || d.Served {
+				t.Fatalf("worker arrival returned a request decision: %+v", d)
+			}
+			continue
+		}
+		if d.Request == nil || d.Request.ID != ev.Request.ID {
+			t.Fatalf("decision names wrong request: %+v", d)
+		}
+		if d.Reason == "" {
+			t.Fatalf("decision without a reason: %+v", d)
+		}
+		if d.Served {
+			served++
+			revenue += d.Revenue
+			if d.Worker == nil {
+				t.Fatalf("served decision without a worker: %+v", d)
+			}
+			if d.Outer != (d.Worker.Platform != d.Request.Platform) {
+				t.Fatalf("outer flag disagrees with platforms: %+v", d)
+			}
+		} else if d.Worker != nil {
+			t.Fatalf("unserved decision with a worker: %+v", d)
+		}
+	}
+	res, err := eng.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if res.TotalServed() != served {
+		t.Fatalf("decisions served %d, result served %d", served, res.TotalServed())
+	}
+	if diff := res.TotalRevenue() - revenue; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("decisions revenue %v, result revenue %v", revenue, res.TotalRevenue())
+	}
+	if served == 0 {
+		t.Fatal("workload produced no matches; decisions untested")
+	}
+}
+
+// TestEngineClosedTypedError is the regression test for the typed
+// double-run error: driving or finishing an engine after Finish must
+// fail with ErrEngineClosed, not silently no-op.
+func TestEngineClosedTypedError(t *testing.T) {
+	stream := feedTestStream(t, 20, 10, 3)
+	factory, err := FactoryFor(AlgTOTA, stream.MaxValue())
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	eng, err := NewEngine(stream.Platforms(), factory, Config{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := eng.Finish(); err != nil {
+		t.Fatalf("first Finish: %v", err)
+	}
+	if _, err := eng.Finish(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("second Finish: want ErrEngineClosed, got %v", err)
+	}
+	if _, err := eng.Process(stream.Events()[0]); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Process after Finish: want ErrEngineClosed, got %v", err)
+	}
+}
+
+// TestEngineTimeRegression rejects arrivals that run backwards.
+func TestEngineTimeRegression(t *testing.T) {
+	factory, err := FactoryFor(AlgTOTA, 10)
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	eng, err := NewEngine([]core.PlatformID{1}, factory, Config{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	w := &core.Worker{ID: 1, Arrival: 5, Radius: 1, Platform: 1}
+	if _, err := eng.Process(core.Event{Time: 5, Kind: core.WorkerArrival, Worker: w}); err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	r := &core.Request{ID: 1, Arrival: 3, Value: 2, Platform: 1}
+	_, err = eng.Process(core.Event{Time: 3, Kind: core.RequestArrival, Request: r})
+	if !errors.Is(err, ErrTimeRegression) {
+		t.Fatalf("want ErrTimeRegression, got %v", err)
+	}
+	if err := eng.SetRecycleBase(100); err == nil {
+		t.Fatal("SetRecycleBase after the first event must fail")
+	}
+}
+
+// TestRunSourceMatchesRun: the pull-based runtime over a stream-backed
+// source reproduces the batch run bit for bit.
+func TestRunSourceMatchesRun(t *testing.T) {
+	stream := feedTestStream(t, 350, 110, 13)
+	factory, err := FactoryFor(AlgDemCOM, stream.MaxValue())
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	want, err := Run(stream, factory, Config{Seed: 21})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := RunSource(context.Background(), stream.Platforms(), factory, StreamSource(stream), Config{Seed: 21})
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	assertSameResult(t, want, got)
+}
+
+// blockingSource yields a few events then blocks until its context
+// dies, standing in for a quiet socket.
+type blockingSource struct {
+	events []core.Event
+	i      int
+}
+
+func (b *blockingSource) Next(ctx context.Context) (core.Event, error) {
+	if b.i < len(b.events) {
+		ev := b.events[b.i]
+		b.i++
+		return ev, nil
+	}
+	<-ctx.Done()
+	return core.Event{}, ctx.Err()
+}
+
+// TestRunSourceCancellation: a canceled context stops the run and
+// surfaces ctx.Err, with the partial result intact.
+func TestRunSourceCancellation(t *testing.T) {
+	stream := feedTestStream(t, 100, 40, 17)
+	factory, err := FactoryFor(AlgTOTA, stream.MaxValue())
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &blockingSource{events: stream.Events()[:50]}
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = RunSource(ctx, stream.Platforms(), factory, src, Config{Seed: 2})
+	}()
+	cancel()
+	<-done
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", runErr)
+	}
+	if res == nil {
+		t.Fatal("partial result missing on cancellation")
+	}
+}
+
+// TestStreamSourceEOF: the adapter terminates cleanly.
+func TestStreamSourceEOF(t *testing.T) {
+	stream := feedTestStream(t, 10, 5, 1)
+	src := StreamSource(stream)
+	n := 0
+	for {
+		_, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		n++
+	}
+	if n != stream.Len() {
+		t.Fatalf("source yielded %d events, stream has %d", n, stream.Len())
+	}
+}

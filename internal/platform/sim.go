@@ -261,18 +261,35 @@ type runState struct {
 }
 
 func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runState, error) {
+	s, err := newRunStateFor(stream.Platforms(), factory, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.stream = stream
+	s.nextID.Store(maxWorkerID(stream))
+	return s, nil
+}
+
+// newRunStateFor builds the run machinery from an explicit platform set
+// instead of a pre-built stream — the seam the incremental Engine (and
+// through it the serving layer) uses, where arrivals are not known up
+// front. The platform order determines per-platform RNG derivation, so
+// callers wanting bit-parity with a stream run must pass
+// stream.Platforms() (ascending IDs).
+func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*runState, error) {
+	if len(pids) == 0 {
+		return nil, fmt.Errorf("platform: no platforms to run")
+	}
 	s := &runState{
 		cfg:      cfg,
-		stream:   stream,
 		hub:      NewHub(),
-		pids:     stream.Platforms(),
+		pids:     append([]core.PlatformID(nil), pids...),
 		matchers: map[core.PlatformID]online.Matcher{},
 		labels:   map[core.PlatformID]string{},
 		res:      &Result{Platforms: map[core.PlatformID]*PlatformResult{}},
 	}
 	s.hub.CoopDisabled = cfg.DisableCoop
 	s.hub.SetMetrics(cfg.Metrics)
-	s.nextID.Store(maxWorkerID(stream))
 
 	root := rand.New(rand.NewSource(cfg.Seed))
 	for _, pid := range s.pids {
@@ -351,10 +368,11 @@ func (s *runState) deliver(w *core.Worker) error {
 }
 
 // handleRequest runs one request through its platform's matcher and
-// folds the decision into results and metrics. It returns the recycled
-// worker to be re-delivered later, if any. Only the goroutine driving
-// e.Request.Platform may call it for that platform.
-func (s *runState) handleRequest(e core.Event) (*core.Worker, error) {
+// folds the decision into results and metrics. It returns the matcher's
+// decision plus the recycled worker to be re-delivered later, if any.
+// Only the goroutine driving e.Request.Platform may call it for that
+// platform.
+func (s *runState) handleRequest(e core.Event) (online.Decision, *core.Worker, error) {
 	r := e.Request
 	pr := s.res.Platforms[r.Platform]
 	m := s.matchers[r.Platform]
@@ -384,24 +402,24 @@ func (s *runState) handleRequest(e core.Event) (*core.Worker, error) {
 		}
 	}
 	if !d.Served {
-		return nil, nil
+		return d, nil, nil
 	}
 	// Release the hub's per-worker record. For inner assignments this is
 	// the eviction keeping the hub tables bounded; for outer ones Claim
 	// already did it and this is a no-op.
 	s.hub.WorkerAssigned(d.Assignment.Worker.ID)
 	if err := pr.Matching.Add(d.Assignment); err != nil {
-		return nil, fmt.Errorf("platform %d: %w", r.Platform, err)
+		return d, nil, fmt.Errorf("platform %d: %w", r.Platform, err)
 	}
 	if s.cfg.ServiceTicks <= 0 {
-		return nil, nil
+		return d, nil, nil
 	}
 	w := d.Assignment.Worker
 	earned := d.Assignment.Request.Value
 	if d.Assignment.Outer {
 		earned = d.Assignment.Payment
 	}
-	return &core.Worker{
+	return d, &core.Worker{
 		ID:       s.nextID.Add(1),
 		Arrival:  e.Time + s.cfg.ServiceTicks,
 		Loc:      d.Assignment.Request.Loc,
@@ -441,7 +459,7 @@ func (s *runState) consume(ctx context.Context, events []core.Event, total int) 
 				return recycled, err
 			}
 		case core.RequestArrival:
-			reborn, err := s.handleRequest(e)
+			_, reborn, err := s.handleRequest(e)
 			if err != nil {
 				return recycled, err
 			}

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"crossmatch/internal/benchfmt"
+	"crossmatch/internal/core"
+	"crossmatch/internal/stats"
+)
+
+// LoadOptions configures one closed-loop load run against a serve
+// endpoint.
+type LoadOptions struct {
+	// URL is the server base, e.g. "http://127.0.0.1:8080".
+	URL string
+	// Stream is the workload to push, in arrival order.
+	Stream *core.Stream
+	// QPS paces dispatch at this many events per second (open-loop
+	// arrival schedule); 0 pushes as fast as the connections allow.
+	QPS float64
+	// Conns is the number of concurrent HTTP connections (default
+	// GOMAXPROCS, at least 2).
+	Conns int
+	// Batch groups up to this many consecutive same-kind events into one
+	// NDJSON POST (default 1: one event per call).
+	Batch int
+	// Timeout bounds one HTTP call (default 30s).
+	Timeout time.Duration
+	// Retries is how many times a shed (429) line is retried, sleeping
+	// the server's retry_after_ms hint between attempts. Replay runs
+	// need retries: the sequencer cannot pass a gap left by a dropped
+	// event. Default 0.
+	Retries int
+	// Client overrides the HTTP client (tests inject the httptest one).
+	Client *http.Client
+}
+
+// LoadReport is the client-side view of a load run: admission
+// outcomes, decision totals and end-to-end call latency quantiles, in
+// the shape EXPERIMENTS.md tables and benchfmt snapshots consume.
+type LoadReport struct {
+	Events    int     `json:"events"`
+	Calls     int64   `json:"calls"`
+	OK        int64   `json:"ok"`
+	Shed      int64   `json:"shed"`
+	Retried   int64   `json:"retried"`
+	Dropped   int64   `json:"dropped"` // shed and out of retries
+	Failed    int64   `json:"failed"`  // transport or non-shed errors
+	Requests  int64   `json:"requests"`
+	Matched   int64   `json:"matched"`
+	Revenue   float64 `json:"revenue"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+	MeanMs    float64 `json:"mean_ms"`
+	WallMs    float64 `json:"wall_ms"`
+	QPS       float64 `json:"qps"` // achieved event throughput
+	ShedRate  float64 `json:"shed_rate"`
+}
+
+// Bench renders the report as a one-benchmark benchfmt document, so
+// serving runs land in the same JSON shape as the offline benchmarks.
+func (r *LoadReport) Bench(label string) *benchfmt.Report {
+	b := benchfmt.Benchmark{
+		Name: "ServeLoad",
+		Runs: 1,
+		Metrics: map[string]float64{
+			"events":    float64(r.Events),
+			"qps":       r.QPS,
+			"p50-ms":    r.P50Ms,
+			"p90-ms":    r.P90Ms,
+			"p99-ms":    r.P99Ms,
+			"max-ms":    r.MaxMs,
+			"shed-rate": r.ShedRate,
+			"matched":   float64(r.Matched),
+			"revenue":   r.Revenue,
+		},
+	}
+	return &benchfmt.Report{Label: label, Goos: runtime.GOOS, Goarch: runtime.GOARCH,
+		Pkg: "crossmatch/internal/serve", CPU: fmt.Sprintf("GOMAXPROCS=%d", runtime.GOMAXPROCS(0)),
+		Benchmarks: []benchfmt.Benchmark{b}}
+}
+
+// batchJob is one POST: consecutive same-kind events sharing an
+// endpoint.
+type batchJob struct {
+	kind core.EventKind
+	evs  []WireEvent
+	due  time.Time // dispatch not before this instant (QPS pacing)
+}
+
+// RunLoad pushes the workload at the configured rate and collects the
+// client-side report. Events are grouped into batches of consecutive
+// same-kind arrivals (order within a batch is preserved by the server),
+// paced on the QPS schedule, and posted over Conns concurrent
+// connections. Shed lines are retried per Retries, sleeping the
+// server's retry_after_ms hint.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	if opts.Stream == nil || opts.Stream.Len() == 0 {
+		return nil, fmt.Errorf("serve: load needs a non-empty stream")
+	}
+	if opts.Conns <= 0 {
+		opts.Conns = runtime.GOMAXPROCS(0)
+		if opts.Conns < 2 {
+			opts.Conns = 2
+		}
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 1
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: opts.Timeout}
+	}
+	base := strings.TrimRight(opts.URL, "/")
+
+	// Build the batch schedule: consecutive same-kind events share a
+	// POST, each batch due at the arrival slot of its first event.
+	events := opts.Stream.Events()
+	start := time.Now()
+	var jobs []batchJob
+	for i := 0; i < len(events); {
+		kind := events[i].Kind
+		j := i
+		for j < len(events) && events[j].Kind == kind && j-i < opts.Batch {
+			j++
+		}
+		job := batchJob{kind: kind, due: start}
+		if opts.QPS > 0 {
+			job.due = start.Add(time.Duration(float64(i) / opts.QPS * float64(time.Second)))
+		}
+		for _, ev := range events[i:j] {
+			job.evs = append(job.evs, EventToWire(ev))
+		}
+		jobs = append(jobs, job)
+		i = j
+	}
+
+	var (
+		mu      sync.Mutex
+		rep     LoadReport
+		lat     = stats.NewReservoir(1<<14, 1)
+		loadErr error
+	)
+	rep.Events = opts.Stream.Len()
+	jobCh := make(chan batchJob)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				if wait := time.Until(job.due); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-ctx.Done():
+						return
+					}
+				}
+				outs, rtt, err := postBatch(ctx, client, base, job)
+				mu.Lock()
+				rep.Calls++
+				if err != nil {
+					rep.Failed += int64(len(job.evs))
+					if loadErr == nil {
+						loadErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				lat.Observe(rtt)
+				retry := accountLines(&rep, job, outs)
+				mu.Unlock()
+				// Retry shed lines with fresh single-line batches.
+				for _, rj := range retry {
+					retryLine(ctx, client, base, rj, opts.Retries, &mu, &rep, lat)
+				}
+			}
+		}()
+	}
+	for _, job := range jobs {
+		select {
+		case jobCh <- job:
+		case <-ctx.Done():
+			close(jobCh)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	wall := time.Since(start)
+	rep.WallMs = float64(wall.Milliseconds())
+	if wall > 0 {
+		rep.QPS = float64(rep.Events) / wall.Seconds()
+	}
+	if n := rep.OK + rep.Shed; n > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(n)
+	}
+	qs := lat.Quantiles([]float64{0.5, 0.9, 0.99})
+	rep.P50Ms = float64(qs[0]) / float64(time.Millisecond)
+	rep.P90Ms = float64(qs[1]) / float64(time.Millisecond)
+	rep.P99Ms = float64(qs[2]) / float64(time.Millisecond)
+	rep.MaxMs = float64(lat.Max()) / float64(time.Millisecond)
+	rep.MeanMs = float64(lat.Mean()) / float64(time.Millisecond)
+	return &rep, loadErr
+}
+
+// accountLines books a batch's response lines and returns the shed
+// events to retry. Callers hold mu.
+func accountLines(rep *LoadReport, job batchJob, outs []WireDecision) []batchJob {
+	var retry []batchJob
+	for i, out := range outs {
+		switch out.Status {
+		case StatusOK:
+			rep.OK++
+			if out.Kind == "request" {
+				rep.Requests++
+				if out.Served {
+					rep.Matched++
+					rep.Revenue += out.Revenue
+				}
+			}
+		case StatusShed:
+			rep.Shed++
+			if i < len(job.evs) {
+				retry = append(retry, batchJob{kind: job.kind,
+					evs: []WireEvent{job.evs[i]},
+					due: time.Now().Add(time.Duration(out.RetryAfterMs) * time.Millisecond)})
+			}
+		default:
+			rep.Failed++
+		}
+	}
+	// Short responses (shouldn't happen) count as failures.
+	if d := len(job.evs) - len(outs); d > 0 {
+		rep.Failed += int64(d)
+	}
+	return retry
+}
+
+// retryLine re-posts one shed event up to retries times.
+func retryLine(ctx context.Context, client *http.Client, base string, job batchJob, retries int, mu *sync.Mutex, rep *LoadReport, lat *stats.Reservoir) {
+	for attempt := 0; ; attempt++ {
+		if attempt >= retries {
+			mu.Lock()
+			rep.Dropped++
+			mu.Unlock()
+			return
+		}
+		if wait := time.Until(job.due); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return
+			}
+		}
+		outs, rtt, err := postBatch(ctx, client, base, job)
+		mu.Lock()
+		rep.Calls++
+		rep.Retried++
+		if err != nil {
+			rep.Failed++
+			mu.Unlock()
+			return
+		}
+		lat.Observe(rtt)
+		if len(outs) == 0 {
+			rep.Failed++
+			mu.Unlock()
+			return
+		}
+		out := outs[0]
+		if out.Status != StatusShed {
+			done := accountLines(rep, job, outs)
+			mu.Unlock()
+			_ = done
+			return
+		}
+		mu.Unlock()
+		job.due = time.Now().Add(time.Duration(out.RetryAfterMs) * time.Millisecond)
+	}
+}
+
+// postBatch POSTs one NDJSON batch and parses the per-line decisions.
+// NDJSON content type forces batch semantics (HTTP 200 + per-line
+// statuses) even for a single event.
+func postBatch(ctx context.Context, client *http.Client, base string, job batchJob) ([]WireDecision, time.Duration, error) {
+	var buf bytes.Buffer
+	lw := newLineWriter(&buf)
+	for i := range job.evs {
+		lw.writeLine(&job.evs[i])
+	}
+	lw.flush()
+	url := base + "/v1/requests"
+	if job.kind == core.WorkerArrival {
+		url = base + "/v1/workers"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, &buf)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	rtt := time.Since(t0)
+	if err != nil {
+		return nil, rtt, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, rtt, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, rtt, fmt.Errorf("serve: POST %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var outs []WireDecision
+	for _, line := range splitLines(body) {
+		var d WireDecision
+		if err := unmarshalStrict(line, &d); err != nil {
+			return nil, rtt, fmt.Errorf("serve: bad response line %q: %w", line, err)
+		}
+		outs = append(outs, d)
+	}
+	return outs, rtt, nil
+}

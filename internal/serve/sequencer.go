@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"time"
+
+	"crossmatch/internal/core"
+)
+
+// sequence is the server's single engine-driving goroutine: it owns
+// the wall-clock→virtual-time bridge and is the only caller of
+// Engine.Process, which keeps the engine's sequential determinism
+// contract intact under concurrent HTTP traffic.
+//
+// Live mode: each admitted event is stamped with the server's virtual
+// tick (milliseconds since start, clamped monotone) and fed in queue
+// order — arrival order at the queue IS the event order.
+//
+// Replay mode: events carry their recorded stream index; a cursor
+// walks the recorded order and out-of-order arrivals wait in a pending
+// map until their predecessors have been fed. The recorded arrival
+// ticks are authoritative, so the engine sees exactly the offline
+// event sequence and the final Result is bit-identical to Run.
+func (s *Server) sequence() {
+	defer close(s.seqDone)
+	pending := make(map[int]*ingest)
+	cursor := 0
+	for it := range s.queue {
+		if s.draining.Load() {
+			// Admitted before the drain flag flipped, but no longer worth
+			// deciding: the contract is "in-flight completes, queued gets a
+			// drain reason".
+			s.ctr.drained.Add(1)
+			it.done <- WireDecision{Status: StatusDraining, Kind: kindName(it.ev.Kind),
+				ID: eventID(it.ev), Error: "server draining; event not applied"}
+			continue
+		}
+		if it.seq < 0 {
+			s.stamp(&it.ev)
+			s.process(it)
+			continue
+		}
+		if it.seq != cursor {
+			pending[it.seq] = it
+			continue
+		}
+		s.process(it)
+		cursor++
+		for next, ok := pending[cursor]; ok; next, ok = pending[cursor] {
+			delete(pending, cursor)
+			if s.draining.Load() {
+				s.ctr.drained.Add(1)
+				next.done <- WireDecision{Status: StatusDraining, Kind: kindName(next.ev.Kind),
+					ID: eventID(next.ev), Error: "server draining; event not applied"}
+			} else {
+				s.process(next)
+			}
+			cursor++
+		}
+	}
+	// Queue closed with replay holes: answer the stranded waiters.
+	for _, it := range pending {
+		s.ctr.drained.Add(1)
+		it.done <- WireDecision{Status: StatusDraining, Kind: kindName(it.ev.Kind),
+			ID: eventID(it.ev), Error: "server draining; event not applied"}
+	}
+}
+
+// stamp writes the live virtual clock onto an event: milliseconds
+// since server start, clamped non-decreasing so wall-clock jitter can
+// never violate the engine's time-order contract.
+func (s *Server) stamp(ev *core.Event) {
+	vt := time.Since(s.started).Milliseconds()
+	if vt < s.vlast {
+		vt = s.vlast
+	}
+	s.vlast = vt
+	ev.Time = core.Time(vt)
+	switch ev.Kind {
+	case core.WorkerArrival:
+		ev.Worker.Arrival = core.Time(vt)
+	case core.RequestArrival:
+		ev.Request.Arrival = core.Time(vt)
+	}
+}
+
+// process feeds one event to the engine and answers its waiter. The
+// done channel is buffered, so a handler that already gave up on its
+// deadline never blocks the sequencer.
+func (s *Server) process(it *ingest) {
+	if s.opts.ProcessDelay > 0 {
+		time.Sleep(s.opts.ProcessDelay)
+	}
+	d, err := s.eng.Process(it.ev)
+	if err != nil {
+		s.ctr.engineErrors.Add(1)
+		it.done <- WireDecision{Status: StatusError, Kind: kindName(it.ev.Kind),
+			ID: eventID(it.ev), VTime: int64(it.ev.Time), Error: err.Error()}
+		return
+	}
+	if it.ev.Kind == core.RequestArrival {
+		s.ctr.served.Add(1)
+		if d.Served {
+			s.ctr.matched.Add(1)
+			s.ctr.addRevenue(d.Revenue)
+		}
+	}
+	it.done <- decisionLine(it.ev.Kind, eventID(it.ev), int64(it.ev.Time), d)
+}
+
+func eventID(ev core.Event) int64 {
+	switch ev.Kind {
+	case core.WorkerArrival:
+		return ev.Worker.ID
+	case core.RequestArrival:
+		return ev.Request.ID
+	}
+	return 0
+}
+
+// unmarshalStrict decodes one JSON value rejecting unknown fields —
+// typos in hand-written payloads fail loudly instead of silently
+// zeroing.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// lineWriter batches NDJSON response lines through one buffered writer.
+type lineWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newLineWriter(w io.Writer) *lineWriter {
+	bw := bufio.NewWriter(w)
+	return &lineWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (lw *lineWriter) writeLine(v any) { _ = lw.enc.Encode(v) }
+func (lw *lineWriter) flush()          { _ = lw.bw.Flush() }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain exercises the shutdown contract under concurrency
+// (run with -race): the decision in flight completes, events still
+// queued are answered 503 with a drain reason, new arrivals are
+// refused, and Close returns a clean final Result.
+func TestGracefulDrain(t *testing.T) {
+	srv, ts := startServer(t, Options{
+		Seed:         1,
+		QueueCap:     64,
+		ProcessDelay: 30 * time.Millisecond,
+	})
+	client := ts.Client()
+
+	const n = 20
+	type out struct {
+		code int
+		d    WireDecision
+		err  error
+	}
+	outs := make(chan out, n)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Post(ts.URL+"/v1/workers", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"id":%d,"x":0.5,"y":0.5,"platform":1,"radius":0.3}`, i)))
+			if err != nil {
+				outs <- out{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			var d WireDecision
+			err = json.NewDecoder(resp.Body).Decode(&d)
+			outs <- out{resp.StatusCode, d, err}
+		}(i)
+	}
+
+	// Let a few decisions land, then pull the plug mid-flight.
+	time.Sleep(80 * time.Millisecond)
+	srv.BeginDrain()
+	wg.Wait()
+	close(outs)
+
+	var okN, drainedN int
+	for o := range outs {
+		if o.err != nil {
+			t.Fatalf("post failed: %v", o.err)
+		}
+		switch o.d.Status {
+		case StatusOK:
+			okN++
+			if o.code != http.StatusOK {
+				t.Fatalf("ok decision with code %d", o.code)
+			}
+		case StatusDraining:
+			drainedN++
+			if o.code != http.StatusServiceUnavailable {
+				t.Fatalf("drained decision must answer 503, got %d", o.code)
+			}
+			if o.d.Error == "" {
+				t.Fatalf("drain refusal must carry a reason: %+v", o.d)
+			}
+		default:
+			t.Fatalf("unexpected terminal status %q (%+v)", o.d.Status, o.d)
+		}
+	}
+	if okN == 0 {
+		t.Fatalf("at least one in-flight decision must complete before the drain")
+	}
+	if drainedN == 0 {
+		t.Fatalf("at least one queued event must be drained with 503")
+	}
+	if okN+drainedN != n {
+		t.Fatalf("every post must terminate: %d ok + %d drained != %d", okN, drainedN, n)
+	}
+
+	// Post-drain arrivals are refused immediately.
+	resp, d := postJSON(t, client, ts.URL+"/v1/workers", `{"id":99,"x":0.5,"y":0.5,"platform":1,"radius":0.3}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || d.Status != StatusDraining {
+		t.Fatalf("post-drain admission: code %d, %+v", resp.StatusCode, d)
+	}
+
+	res, err := srv.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res == nil {
+		t.Fatalf("Close must return the final result")
+	}
+	snap := srv.Snapshot()
+	if !snap.Server.Draining {
+		t.Fatalf("snapshot must report draining")
+	}
+	// Every terminal OK passed through the queue; drains came from the
+	// admission gate or the queue flush, and nothing was lost.
+	if int64(okN) > snap.Server.Accepted {
+		t.Fatalf("more decisions (%d) than accepted events (%d)", okN, snap.Server.Accepted)
+	}
+	if snap.Server.Drained < int64(drainedN) {
+		t.Fatalf("drain counter %d below observed drains %d", snap.Server.Drained, drainedN)
+	}
+
+	// Close is idempotent and keeps returning the cached result.
+	res2, err := srv.Close()
+	if err != nil || res2 != res {
+		t.Fatalf("second Close: res2=%p res=%p err=%v", res2, res, err)
+	}
+}
+
+// TestCloseWithoutTraffic closes an idle server cleanly.
+func TestCloseWithoutTraffic(t *testing.T) {
+	srv, err := New(Options{Seed: 9})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := srv.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if res.TotalServed() != 0 {
+		t.Fatalf("idle server served %d", res.TotalServed())
+	}
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Serving smoke: boot comserve on a random port in replay mode, push
+# the recorded stream through comload, assert a non-empty match count
+# and a clean drain on SIGTERM. This is the CI end-to-end check for the
+# live matching service (see README "Serving").
+# Usage: scripts/serve_smoke.sh  (or `make serve-smoke`)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> build"
+go build -o "$tmp/comserve" ./cmd/comserve
+go build -o "$tmp/comload" ./cmd/comload
+go run ./cmd/comgen -requests 400 -workers 300 -seed 42 > "$tmp/stream.csv"
+
+echo "==> boot comserve (replay mode, random port)"
+"$tmp/comserve" -addr 127.0.0.1:0 -alg DemCOM -seed 42 \
+    -replay "$tmp/stream.csv" -port-file "$tmp/port.txt" \
+    > "$tmp/comserve.log" 2>&1 &
+srv=$!
+
+i=0
+while [ ! -s "$tmp/port.txt" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "comserve never wrote its port file" >&2
+        cat "$tmp/comserve.log" >&2
+        kill "$srv" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+addr="$(cat "$tmp/port.txt")"
+echo "    listening on $addr"
+
+echo "==> push the workload through comload"
+"$tmp/comload" -url "http://$addr" -in "$tmp/stream.csv" \
+    -conns 8 -batch 16 -retries 20 -min-matched 1 -label smoke \
+    -out "$tmp/load.json"
+
+echo "==> drain on SIGTERM"
+kill -TERM "$srv"
+i=0
+while kill -0 "$srv" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "comserve did not exit after SIGTERM" >&2
+        cat "$tmp/comserve.log" >&2
+        kill -9 "$srv" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+
+cat "$tmp/comserve.log"
+grep -q "matched" "$tmp/comserve.log" || {
+    echo "comserve summary missing" >&2
+    exit 1
+}
+
+echo "==> OK"
