@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-json check serve-smoke clean
+.PHONY: build vet test race bench bench-json bench-guard check serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,13 @@ BENCH_LABEL ?= PR5
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableSequential$$|BenchmarkTableV|BenchmarkTraceOverhead' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL)
+
+# Allocation regression guard for the pricing/eligibility hot path:
+# BenchmarkTableV's allocs/op must stay within 10% of the committed
+# BENCH_PR6.json baseline. Allocation counts are deterministic, so the
+# threshold holds on shared machines where ns/op thresholds would not.
+bench-guard:
+	sh scripts/bench_guard.sh
 
 check:
 	sh scripts/check.sh

@@ -2,6 +2,7 @@ package crossmatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -35,6 +36,11 @@ var (
 	// ErrUnknownPreset reports a dataset preset name GenerateCity or
 	// ReproduceTable does not recognize.
 	ErrUnknownPreset = workload.ErrUnknownPreset
+	// ErrBadOption reports an out-of-range functional option (a trace
+	// sample rate above 1, negative service ticks, a negative probe
+	// deadline). Every entry point taking options wraps it with the
+	// offending option and value.
+	ErrBadOption = errors.New("bad option")
 )
 
 // Re-exported domain types. The full type definitions live in
@@ -61,6 +67,12 @@ type (
 	// Metrics is a race-free counter/latency collector; attach one with
 	// WithMetrics and read it with Snapshot after (or during) runs.
 	Metrics = metrics.Collector
+	// PricingStats aggregates the COM matchers' pricing-quoter counters
+	// over a run: quote counts per entry point, acceptance-probability
+	// evaluations with the fraction served from the per-shard payment
+	// cache, and Scratch reuse versus allocation. Read it from
+	// Metrics.Snapshot().Pricing (attach the collector with WithMetrics).
+	PricingStats = metrics.PricingStats
 	// Preset describes one of the paper's Table III dataset substitutes.
 	Preset = workload.Preset
 	// FaultPlan describes deterministic cooperation faults (latency
@@ -172,16 +184,26 @@ type simConfig struct {
 	probeDeadline    time.Duration
 	tracer           *Tracer
 	traceSample      float64
+	pricingScan      bool
 }
 
 // platformConfig lowers the functional options into the runtime Config —
 // the single mapping shared by SimulateContext, NewEngine and
 // SimulateSource, so every entry point interprets the options
-// identically.
-func platformConfig(opts []Option) platform.Config {
+// identically. Out-of-range options are rejected with an error wrapping
+// ErrBadOption rather than silently clamped.
+func platformConfig(opts []Option) (platform.Config, error) {
 	var c simConfig
 	for _, opt := range opts {
 		opt(&c)
+	}
+	switch {
+	case c.traceSample > 1:
+		return platform.Config{}, fmt.Errorf("crossmatch: %w: trace sample rate %v above 1", ErrBadOption, c.traceSample)
+	case c.serviceTicks < 0:
+		return platform.Config{}, fmt.Errorf("crossmatch: %w: service ticks %d negative", ErrBadOption, c.serviceTicks)
+	case c.probeDeadline < 0:
+		return platform.Config{}, fmt.Errorf("crossmatch: %w: probe deadline %v negative", ErrBadOption, c.probeDeadline)
 	}
 	return platform.Config{
 		Seed:             c.seed,
@@ -194,7 +216,8 @@ func platformConfig(opts []Option) platform.Config {
 		ProbeDeadline:    c.probeDeadline,
 		Trace:            c.tracer,
 		TraceSample:      c.traceSample,
-	}
+		PricingScan:      c.pricingScan,
+	}, nil
 }
 
 // WithSeed roots all of the run's randomness; the same seed and stream
@@ -278,6 +301,17 @@ func WithTraceSample(rate float64) Option {
 	return func(c *simConfig) { c.traceSample = rate }
 }
 
+// WithPricingTables switches the COM matchers' pricing quoter between
+// the precomputed per-history CDF tables (true, the default) and the
+// exact linear scan over raw history values (false). Both paths produce
+// bit-identical quotes — the tables exist purely as a hot-path
+// optimization — so this knob is an A/B guard for benchmarking and
+// verification, not a behavioural switch. The choice is observable in
+// PricingStats.TableHitRate.
+func WithPricingTables(on bool) Option {
+	return func(c *simConfig) { c.pricingScan = !on }
+}
+
 // SimulateContext runs the named online algorithm over the stream, one
 // matcher per platform, cooperating through a shared hub. The context
 // cancels mid-stream: the run stops between arrival events and returns
@@ -287,7 +321,11 @@ func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
-	return platform.RunContext(ctx, stream, factory, platformConfig(opts))
+	cfg, err := platformConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return platform.RunContext(ctx, stream, factory, cfg)
 }
 
 // SimOptions configures Simulate.
@@ -370,7 +408,10 @@ func NewEngine(pids []PlatformID, algorithm string, maxValue float64, opts ...Op
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
-	cfg := platformConfig(opts)
+	cfg, err := platformConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	cfg.PlatformParallel = false
 	eng, err := platform.NewEngine(pids, factory, cfg)
 	if err != nil {
@@ -394,7 +435,10 @@ func SimulateSource(ctx context.Context, pids []PlatformID, algorithm string, ma
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
-	cfg := platformConfig(opts)
+	cfg, err := platformConfig(opts)
+	if err != nil {
+		return nil, err
+	}
 	cfg.PlatformParallel = false
 	return platform.RunSource(ctx, pids, factory, src, cfg)
 }

@@ -1,0 +1,76 @@
+package fastrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCompatible(t *testing.T) {
+	if !compatible {
+		t.Fatal("fastrand: reconstruction self-check failed against this Go runtime's math/rand")
+	}
+}
+
+// TestStreamIdentity drives a Source and a stdlib source in lockstep
+// across many seeds, including re-seeding the same Source, and through
+// the rand.Rand wrapper methods the pricing code actually consumes.
+func TestStreamIdentity(t *testing.T) {
+	var s Source
+	for _, seed := range []int64{0, 1, 2, 42, -1, -(1 << 62), 1<<63 - 1, 89482311, int32max, int32max + 1, 7919} {
+		s.Seed(seed)
+		std := rand.NewSource(seed).(rand.Source64)
+		for i := 0; i < 1000; i++ {
+			if got, want := s.Uint64(), std.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Uint64 = %d, want %d", seed, i, got, want)
+			}
+		}
+	}
+	// Through *rand.Rand: Float64/Int63/Intn must match too.
+	for _, seed := range []int64{3, 1234567891011} {
+		s.Seed(seed)
+		mine := rand.New(&s)
+		std := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			if got, want := mine.Float64(), std.Float64(); got != want {
+				t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, got, want)
+			}
+			if got, want := mine.Int63(), std.Int63(); got != want {
+				t.Fatalf("seed %d draw %d: Int63 = %d, want %d", seed, i, got, want)
+			}
+			if got, want := mine.Intn(97), std.Intn(97); got != want {
+				t.Fatalf("seed %d draw %d: Intn = %d, want %d", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// FuzzStreamIdentity hammers arbitrary seeds.
+func FuzzStreamIdentity(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(-12345))
+	f.Add(int64(1 << 50))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		var s Source
+		s.Seed(seed)
+		std := rand.NewSource(seed).(rand.Source64)
+		for i := 0; i < 650; i++ { // past one full state length
+			if got, want := s.Uint64(), std.Uint64(); got != want {
+				t.Fatalf("seed %d draw %d: Uint64 = %d, want %d", seed, i, got, want)
+			}
+		}
+	})
+}
+
+func BenchmarkSeedFast(b *testing.B) {
+	var s Source
+	for i := 0; i < b.N; i++ {
+		s.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedStdlib(b *testing.B) {
+	src := rand.NewSource(1)
+	for i := 0; i < b.N; i++ {
+		src.Seed(int64(i))
+	}
+}

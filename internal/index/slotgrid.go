@@ -1,0 +1,233 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"crossmatch/internal/geo"
+)
+
+// SlotGrid is Grid's structure-of-arrays sibling, built for the
+// eligibility scan that dominates matcher time: each cell keeps its
+// entries as parallel slices of coordinates and squared radii, so a
+// covering query streams through flat float64 arrays instead of chasing
+// Entry structs, and the containment test is a single fused
+// compare — no per-entry branch on the radius sign (negative radii are
+// stored as an impossible squared radius).
+//
+// Unlike Grid, SlotGrid carries a caller-assigned slot per entry and
+// reports it from queries and removals. online.Pool uses the slot to
+// index its own parallel worker arrays, which removes the per-candidate
+// map lookup from the hot path.
+//
+// Bucket discipline (append on insert, swap-with-last on remove), the
+// exact sorted radius multiset, and the ring iteration order are all
+// identical to Grid, so for the same insert/remove sequence a covering
+// query visits entries in exactly the order Grid.Covering returns
+// them — the property the deterministic runtime's bit-reproducibility
+// rests on.
+//
+// Like the other indexes, VisitCovering, Slot and Len are strictly
+// read-only, so any number of concurrent readers is safe while no
+// writer runs.
+type SlotGrid struct {
+	cell  float64
+	cells map[cellKey]*slotBucket
+	where map[int64]cellKey
+	// Sorted multiset of live radii, exactly as in Grid.
+	radVals []float64
+	radCnt  []int
+	n       int
+}
+
+// slotBucket holds one cell's entries in structure-of-arrays layout.
+// Index i across all slices describes one entry.
+type slotBucket struct {
+	ids   []int64
+	slots []int32
+	xs    []float64
+	ys    []float64
+	// r2 is the squared radius when the radius is non-negative, -1
+	// otherwise: dist2 <= r2 is then bit-equivalent to
+	// geo.Circle.Contains (a non-negative dist2 never passes -1, and
+	// rad*rad here is the same product Contains computes).
+	r2 []float64
+	// rads keeps the original radius for the multiset bookkeeping
+	// (sqrt(r2) would not round-trip bit-exactly).
+	rads []float64
+}
+
+// NewSlotGrid returns an empty grid with the given cell edge length in
+// kilometres. Non-positive sizes fall back to DefaultCell.
+func NewSlotGrid(cellSize float64) *SlotGrid {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		cellSize = DefaultCell
+	}
+	return &SlotGrid{
+		cell:  cellSize,
+		cells: make(map[cellKey]*slotBucket),
+		where: make(map[int64]cellKey),
+	}
+}
+
+func (g *SlotGrid) key(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / g.cell)),
+		cy: int32(math.Floor(p.Y / g.cell)),
+	}
+}
+
+// Insert adds an entry carrying the caller's slot. Inserting an ID that
+// is already present replaces the previous entry (the old slot is
+// dropped; callers that recycle slots should Remove first to recover it).
+func (g *SlotGrid) Insert(e Entry, slot int32) {
+	if _, dup := g.where[e.ID]; dup {
+		g.Remove(e.ID)
+	}
+	k := g.key(e.Circle.Center)
+	b := g.cells[k]
+	if b == nil {
+		b = &slotBucket{}
+		g.cells[k] = b
+	}
+	rad := e.Circle.Radius
+	r2 := -1.0
+	if rad >= 0 {
+		r2 = rad * rad
+	}
+	b.ids = append(b.ids, e.ID)
+	b.slots = append(b.slots, slot)
+	b.xs = append(b.xs, e.Circle.Center.X)
+	b.ys = append(b.ys, e.Circle.Center.Y)
+	b.r2 = append(b.r2, r2)
+	b.rads = append(b.rads, rad)
+	g.where[e.ID] = k
+	g.addRad(rad)
+	g.n++
+}
+
+// addRad records a live entry's radius in the sorted multiset
+// (identical to Grid.addRad).
+func (g *SlotGrid) addRad(r float64) {
+	i := sort.SearchFloat64s(g.radVals, r)
+	if i < len(g.radVals) && g.radVals[i] == r {
+		g.radCnt[i]++
+		return
+	}
+	g.radVals = append(g.radVals, 0)
+	copy(g.radVals[i+1:], g.radVals[i:])
+	g.radVals[i] = r
+	g.radCnt = append(g.radCnt, 0)
+	copy(g.radCnt[i+1:], g.radCnt[i:])
+	g.radCnt[i] = 1
+}
+
+// removeRad drops one occurrence of a live entry's radius.
+func (g *SlotGrid) removeRad(r float64) {
+	i := sort.SearchFloat64s(g.radVals, r)
+	if i >= len(g.radVals) || g.radVals[i] != r {
+		return // unreachable: every live entry's radius is tracked
+	}
+	g.radCnt[i]--
+	if g.radCnt[i] == 0 {
+		g.radVals = append(g.radVals[:i], g.radVals[i+1:]...)
+		g.radCnt = append(g.radCnt[:i], g.radCnt[i+1:]...)
+	}
+}
+
+// Remove deletes the entry with the given ID, returning the slot it
+// carried and whether it was present.
+func (g *SlotGrid) Remove(id int64) (slot int32, ok bool) {
+	k, ok := g.where[id]
+	if !ok {
+		return 0, false
+	}
+	b := g.cells[k]
+	for i, eid := range b.ids {
+		if eid == id {
+			slot = b.slots[i]
+			g.removeRad(b.rads[i])
+			last := len(b.ids) - 1
+			b.ids[i] = b.ids[last]
+			b.slots[i] = b.slots[last]
+			b.xs[i] = b.xs[last]
+			b.ys[i] = b.ys[last]
+			b.r2[i] = b.r2[last]
+			b.rads[i] = b.rads[last]
+			b.ids = b.ids[:last]
+			b.slots = b.slots[:last]
+			b.xs = b.xs[:last]
+			b.ys = b.ys[:last]
+			b.r2 = b.r2[:last]
+			b.rads = b.rads[:last]
+			break
+		}
+	}
+	// Unlike Grid, an emptied bucket stays in the map: churny cells
+	// (workers leaving and re-arriving at the same spot) reuse its six
+	// arrays' capacity instead of reallocating them, and an empty bucket
+	// costs a covering query nothing it wasn't already paying for the
+	// cell lookup. Memory is bounded by the distinct cells ever touched.
+	delete(g.where, id)
+	g.n--
+	return slot, true
+}
+
+// Slot returns the slot carried by the entry with the given ID.
+func (g *SlotGrid) Slot(id int64) (int32, bool) {
+	k, ok := g.where[id]
+	if !ok {
+		return 0, false
+	}
+	b := g.cells[k]
+	for i, eid := range b.ids {
+		if eid == id {
+			return b.slots[i], true
+		}
+	}
+	return 0, false // unreachable: where and buckets stay in sync
+}
+
+// searchRadius returns the exact maximum live radius, as in Grid.
+func (g *SlotGrid) searchRadius() float64 {
+	if len(g.radVals) == 0 {
+		return 0
+	}
+	return g.radVals[len(g.radVals)-1]
+}
+
+// AppendSlots appends to dst the slot of every entry whose disk
+// contains p and returns the extended slice, in the same deterministic
+// order Grid.Covering appends entries (ring scan cx-major, bucket order
+// within a cell). Returning slots through a caller-reused buffer keeps
+// the hot path free of closure captures, which would otherwise escape.
+func (g *SlotGrid) AppendSlots(dst []int32, p geo.Point) []int32 {
+	if g.n == 0 {
+		return dst
+	}
+	r := g.searchRadius()
+	ring := int32(math.Ceil(r / g.cell))
+	c := g.key(p)
+	for cx := c.cx - ring; cx <= c.cx+ring; cx++ {
+		for cy := c.cy - ring; cy <= c.cy+ring; cy++ {
+			b := g.cells[cellKey{cx, cy}]
+			if b == nil {
+				continue
+			}
+			xs, ys, r2 := b.xs, b.ys, b.r2
+			for i := range xs {
+				dx, dy := xs[i]-p.X, ys[i]-p.Y
+				if dx*dx+dy*dy <= r2[i] {
+					dst = append(dst, b.slots[i])
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Len returns the number of live entries.
+func (g *SlotGrid) Len() int { return g.n }
+
+// CellSize returns the grid's cell edge length.
+func (g *SlotGrid) CellSize() float64 { return g.cell }

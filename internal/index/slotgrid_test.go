@@ -1,0 +1,126 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossmatch/internal/geo"
+)
+
+// TestSlotGridMatchesGridOrder drives a Grid and a SlotGrid through the
+// same randomized insert/remove sequence and checks every covering
+// query returns the same entries in the same order — the property the
+// deterministic runtime's bit-reproducibility relies on when the pool
+// swaps its entry-based grid for the structure-of-arrays one.
+func TestSlotGridMatchesGridOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := NewGrid(1.0)
+	sg := NewSlotGrid(1.0)
+	slotOf := map[int64]int32{}
+	live := []int64{}
+	nextID := int64(0)
+
+	randEntry := func(id int64) Entry {
+		rad := rng.Float64() * 2
+		switch rng.Intn(8) {
+		case 0:
+			rad = 0
+		case 1:
+			rad = -1 // never covers
+		}
+		return Entry{ID: id, Circle: geo.Circle{
+			Center: geo.Point{X: rng.Float64()*10 - 5, Y: rng.Float64()*10 - 5},
+			Radius: rad,
+		}}
+	}
+
+	check := func(step int) {
+		p := geo.Point{X: rng.Float64()*10 - 5, Y: rng.Float64()*10 - 5}
+		want := g.Covering(nil, p)
+		var got []int64
+		for _, slot := range sg.AppendSlots(nil, p) {
+			found := false
+			for id, s := range slotOf {
+				if s == slot {
+					got = append(got, id)
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("step %d: query returned unknown slot %d", step, slot)
+			}
+		}
+		if len(want) != len(got) {
+			t.Fatalf("step %d: covering sizes differ: grid %d vs slot grid %d", step, len(want), len(got))
+		}
+		for i := range want {
+			if want[i].ID != got[i] {
+				t.Fatalf("step %d: covering order differs at %d: grid %d vs slot grid %d",
+					step, i, want[i].ID, got[i])
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0: // insert fresh
+			e := randEntry(nextID)
+			g.Insert(e)
+			slot := int32(nextID) // any unique tag works as a slot
+			sg.Insert(e, slot)
+			slotOf[e.ID] = slot
+			live = append(live, e.ID)
+			nextID++
+		case op < 8: // remove random live entry
+			i := rng.Intn(len(live))
+			id := live[i]
+			okG := g.Remove(id)
+			gotSlot, okS := sg.Remove(id)
+			if !okG || !okS {
+				t.Fatalf("step %d: remove(%d) = %v/%v, want true/true", step, id, okG, okS)
+			}
+			if gotSlot != slotOf[id] {
+				t.Fatalf("step %d: remove(%d) returned slot %d, want %d", step, id, gotSlot, slotOf[id])
+			}
+			delete(slotOf, id)
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		default: // re-insert a live ID (replacement path)
+			id := live[rng.Intn(len(live))]
+			e := randEntry(id)
+			g.Insert(e)
+			// Mirror online.Pool's discipline: recover the old slot first.
+			if _, ok := sg.Remove(id); !ok {
+				t.Fatalf("step %d: live id %d missing from slot grid", step, id)
+			}
+			sg.Insert(e, slotOf[id])
+		}
+		if g.Len() != sg.Len() || g.Len() != len(live) {
+			t.Fatalf("step %d: lengths diverge: grid %d, slot grid %d, want %d",
+				step, g.Len(), sg.Len(), len(live))
+		}
+		check(step)
+	}
+}
+
+// TestSlotGridSlotLookup checks Slot round-trips IDs to their tags.
+func TestSlotGridSlotLookup(t *testing.T) {
+	sg := NewSlotGrid(1.0)
+	sg.Insert(Entry{ID: 7, Circle: geo.Circle{Radius: 1}}, 42)
+	if s, ok := sg.Slot(7); !ok || s != 42 {
+		t.Fatalf("Slot(7) = %d, %v; want 42, true", s, ok)
+	}
+	if _, ok := sg.Slot(8); ok {
+		t.Fatal("Slot(8) reported a missing entry present")
+	}
+	if s, ok := sg.Remove(7); !ok || s != 42 {
+		t.Fatalf("Remove(7) = %d, %v; want 42, true", s, ok)
+	}
+	if _, ok := sg.Slot(7); ok {
+		t.Fatal("Slot(7) present after removal")
+	}
+	if sg.Len() != 0 {
+		t.Fatalf("Len = %d after removal, want 0", sg.Len())
+	}
+}

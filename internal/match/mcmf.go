@@ -1,7 +1,6 @@
 package match
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -15,6 +14,31 @@ import (
 // non-negative cost, i.e. when one more match would not increase total
 // weight — yielding the maximum-weight (not maximum-cardinality)
 // matching, exactly the OFF objective.
+//
+// The hot loop is allocation-free and structured around three
+// observations, all bit-compatible with the straightforward
+// linked-list + container/heap implementation this replaces (arc visit
+// order, heap pop order including ties, and every float operation are
+// unchanged, so the extracted matching — and the OFF revenue built from
+// it — is bit-identical):
+//
+//  1. Arcs live in a CSR adjacency layout (contiguous per-node ranges in
+//     the old head-insertion visit order) and the priority queue is a
+//     typed binary heap replicating container/heap's sift rules without
+//     the interface{} boxing that previously allocated on every push and
+//     pop.
+//  2. Each Dijkstra round stops the moment the sink settles, and nodes
+//     whose tentative distance already reaches the sink's are not pushed
+//     (they could only pop in the sink's equal-distance tier, whose
+//     relaxations are provably inert: they cannot change any distance
+//     below dist[snk], the sink's path, or any potential-update branch).
+//  3. Unit capacities make request nodes degenerate: flow conservation
+//     means a request has exactly one live outgoing residual arc — its
+//     request->sink arc while unmatched, or the reverse arc to its
+//     current mate once matched. Settling a request therefore relaxes
+//     that one arc directly (the mate's reverse arc is recorded during
+//     augmentation) instead of scanning the request's whole reverse-arc
+//     range, which removes the dominant share of arc visits.
 //
 // Complexity O(F * E log V) with F matched pairs; comfortably handles
 // the paper's table-scale instances because the feasibility graph is
@@ -34,21 +58,20 @@ func MaxWeightFlow(g *Graph) *Result {
 
 	type arc struct {
 		to   int32
-		next int32   // index of next arc out of the same node, -1 = none
 		cap  int8    // residual capacity (0 or 1)
 		cost float64 // cost of pushing one unit
 	}
-	// Arcs come in pairs: arc i and i^1 are mutual reverses.
-	arcs := make([]arc, 0, 2*(nw+nr+len(edges)))
-	head := make([]int32, n)
-	for i := range head {
-		head[i] = -1
-	}
-	addArc := func(from, to int, cost float64) {
-		arcs = append(arcs, arc{to: int32(to), next: head[from], cap: 1, cost: cost})
-		head[from] = int32(len(arcs) - 1)
-		arcs = append(arcs, arc{to: int32(from), next: head[to], cap: 0, cost: -cost})
-		head[to] = int32(len(arcs) - 1)
+	// Arcs come in pairs: arc i and i^1 are mutual reverses. They are
+	// first recorded in insertion order, then laid out CSR-style so the
+	// relaxation loop walks each node's out-arcs contiguously.
+	nArcs := 2 * (nw + nr + len(edges))
+	arcs := make([]arc, 0, nArcs)
+	from := make([]int32, 0, nArcs) // tail node per arc, for the CSR build
+	addArc := func(u, v int, cost float64) {
+		arcs = append(arcs, arc{to: int32(v), cap: 1, cost: cost})
+		from = append(from, int32(u))
+		arcs = append(arcs, arc{to: int32(u), cap: 0, cost: -cost})
+		from = append(from, int32(v))
 	}
 	for w := 0; w < nw; w++ {
 		addArc(src, 1+w, 0)
@@ -58,106 +81,204 @@ func MaxWeightFlow(g *Graph) *Result {
 		edgeArc[i] = int32(len(arcs))
 		addArc(1+e.Worker, 1+nw+e.Request, -e.Weight)
 	}
+	snkArcOf := make([]int32, nr) // request r's forward arc to the sink
 	for r := 0; r < nr; r++ {
+		snkArcOf[r] = int32(len(arcs))
 		addArc(1+nw+r, snk, 0)
 	}
+
+	// CSR layout. The previous linked-list adjacency visited each node's
+	// arcs in reverse insertion order (head insertion), and that order is
+	// load-bearing: it fixes the heap push order among equal-distance
+	// nodes, which fixes tie resolution, the augmenting paths, and hence
+	// the exact float revenue. Filling the CSR ranges by walking the arc
+	// array backwards reproduces it. Arcs are physically relocated into
+	// CSR order so the relaxation loop streams each node's arcs from
+	// contiguous memory; the i^1 reverse-pairing of the insertion layout
+	// is carried over as an explicit rev table.
+	deg := make([]int32, n+1)
+	for _, u := range from {
+		deg[u+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	pos := make([]int32, len(arcs)) // arc index -> CSR position
+	fill := make([]int32, n)
+	for ai := len(arcs) - 1; ai >= 0; ai-- {
+		u := from[ai]
+		pos[ai] = deg[u] + fill[u]
+		fill[u]++
+	}
+	// The relocated arcs are split into parallel arrays: the 1-byte
+	// capacities pack 64 per cache line for the liveness check, and the
+	// to/cost pairs stream sequentially during a node's scan.
+	tos := make([]int32, len(arcs))
+	costs := make([]float64, len(arcs))
+	caps := make([]int8, len(arcs))
+	rev := make([]int32, len(arcs)) // CSR position of the paired reverse arc
+	for ai, a := range arcs {
+		p := pos[ai]
+		tos[p], costs[p], caps[p] = a.to, a.cost, a.cap
+		rev[p] = pos[ai^1]
+	}
+	for i := range edgeArc {
+		edgeArc[i] = pos[edgeArc[i]]
+	}
+	for r := range snkArcOf {
+		snkArcOf[r] = pos[snkArcOf[r]]
+	}
+
+	// Per-node state, interleaved so a relaxation's random access to a
+	// target node touches one cache line for both its distance and its
+	// potential.
+	type nodeState struct {
+		dist, pot float64
+	}
+	state := make([]nodeState, n)
 
 	// Potentials. Costs are negative only on worker->request arcs, and
 	// the initial residual graph is a DAG src->W->R->snk, so one sweep in
 	// topological order (src, workers, requests, sink) yields shortest
 	// distances.
-	pot := make([]float64, n)
-	for i := range pot {
-		pot[i] = math.Inf(1)
+	for i := range state {
+		state[i].pot = math.Inf(1)
 	}
-	pot[src] = 0
+	state[src].pot = 0
 	for w := 0; w < nw; w++ {
-		pot[1+w] = 0 // src->worker cost 0
+		state[1+w].pot = 0 // src->worker cost 0
 	}
-	for i, e := range edges {
-		_ = i
+	for _, e := range edges {
 		r := 1 + nw + e.Request
-		if c := pot[1+e.Worker] - e.Weight; c < pot[r] {
-			pot[r] = c
+		if c := state[1+e.Worker].pot - e.Weight; c < state[r].pot {
+			state[r].pot = c
 		}
 	}
 	for r := 0; r < nr; r++ {
-		if pot[1+nw+r] < pot[snk] {
-			pot[snk] = pot[1+nw+r]
+		if state[1+nw+r].pot < state[snk].pot {
+			state[snk].pot = state[1+nw+r].pot
 		}
 	}
-	for i := range pot {
-		if math.IsInf(pot[i], 1) {
-			pot[i] = 0 // unreachable; any finite value keeps reduced costs sane
+	for i := range state {
+		if math.IsInf(state[i].pot, 1) {
+			state[i].pot = 0 // unreachable; any finite value keeps reduced costs sane
 		}
 	}
 
-	dist := make([]float64, n)
+	// prevArc is never reset between rounds: it is only read while
+	// walking the sink's shortest path, every node of which was relaxed
+	// (and therefore written) in the round just run.
 	prevArc := make([]int32, n)
+	mateArc := make([]int32, nr) // request's live reverse arc once matched
+	for r := range mateArc {
+		mateArc[r] = -1
+	}
+	var pq distHeap
+	pq.dists = make([]float64, 0, n)
+	pq.nodes = make([]int32, 0, n)
+	for i := range state {
+		state[i].dist = math.Inf(1)
+	}
 
 	for {
-		// Dijkstra on reduced costs from src.
-		for i := range dist {
-			dist[i] = math.Inf(1)
-			prevArc[i] = -1
-		}
-		dist[src] = 0
-		pq := &arcHeap{}
-		heap.Push(pq, arcHeapItem{node: src, dist: 0})
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(arcHeapItem)
-			u := it.node
-			if it.dist > dist[u] {
+		// Dijkstra on reduced costs from src. Distances were reset to
+		// +Inf by the previous round's potential sweep (or the loop
+		// above, before the first round).
+		state[src].dist = 0
+		pq.dists = pq.dists[:0]
+		pq.nodes = pq.nodes[:0]
+		pq.push(0, int32(src))
+		for len(pq.dists) > 0 {
+			d, node := pq.pop()
+			u := int(node)
+			if d > state[u].dist {
 				continue
 			}
-			for ai := head[u]; ai != -1; ai = arcs[ai].next {
-				a := arcs[ai]
-				if a.cap == 0 {
+			if u == snk {
+				// The sink is settled: its shortest path — and the
+				// prevArc chain along it, whose nodes all popped earlier —
+				// is final. Every node still queued pops at a distance
+				// >= dist[snk] (heap order), so no later relaxation can
+				// improve any dist below dist[snk]; both the augmenting
+				// path and the capped potential update below are exactly
+				// what a run-to-exhaustion Dijkstra would produce.
+				break
+			}
+			du, pu := state[u].dist, state[u].pot
+			var aiLo, aiHi int
+			if u > nw { // request node: exactly one live outgoing arc
+				r := u - 1 - nw
+				aiLo = int(snkArcOf[r])
+				if caps[aiLo] == 0 {
+					aiLo = int(mateArc[r])
+				}
+				aiHi = aiLo + 1
+			} else {
+				aiLo, aiHi = int(deg[u]), int(deg[u+1])
+			}
+			for ai := aiLo; ai < aiHi; ai++ {
+				if caps[ai] == 0 {
 					continue
 				}
-				v := int(a.to)
-				rc := a.cost + pot[u] - pot[v]
+				v := int(tos[ai])
+				rc := costs[ai] + pu - state[v].pot
 				// Johnson potentials keep reduced costs non-negative in
 				// exact arithmetic; float drift can leave them a hair
 				// below zero, and equal-weight parallel edges (every
 				// inner edge into one request weighs the same) then form
 				// zero-cost cycles that an un-clamped Dijkstra walks
-				// forever by ~1e-16 "improvements". Clamp, and demand a
+				// forever by ~1e-16 "improvements". Clamp (branchless;
+				// -0.0 and NaN behave as the branch did), and demand a
 				// material improvement.
-				if rc < 0 {
-					rc = 0
-				}
-				nd := dist[u] + rc
-				if nd+1e-9 < dist[v] {
-					dist[v] = nd
-					prevArc[v] = ai
-					heap.Push(pq, arcHeapItem{node: v, dist: nd})
+				rc = max(rc, 0)
+				nd := du + rc
+				if nd+1e-9 < state[v].dist {
+					state[v].dist = nd
+					prevArc[v] = int32(ai)
+					// Push only nodes that can still pop before the sink
+					// does; dist and prevArc are written regardless, so
+					// every later comparison sees the same values either
+					// way. (The sink itself always satisfies the bound:
+					// the improvement test just proved it.)
+					if nd < state[snk].dist {
+						pq.push(nd, tos[ai])
+					}
 				}
 			}
 		}
-		if math.IsInf(dist[snk], 1) {
+		if math.IsInf(state[snk].dist, 1) {
 			break // no augmenting path at all
 		}
-		pathCost := dist[snk] + pot[snk] - pot[src]
+		pathCost := state[snk].dist + state[snk].pot - state[src].pot
 		if pathCost >= -1e-12 {
 			break // further matches would not add weight
 		}
 		// Update potentials. Nodes unreachable this round are capped at
 		// dist[snk]; this keeps reduced costs non-negative on every
 		// residual arc even when reachability changes between rounds.
-		for i := range pot {
-			if dist[i] < dist[snk] {
-				pot[i] += dist[i]
+		// The same sweep resets distances to +Inf for the next round.
+		dsnk := state[snk].dist
+		inf := math.Inf(1)
+		for i := range state {
+			if d := state[i].dist; d < dsnk {
+				state[i].pot += d
 			} else {
-				pot[i] += dist[snk]
+				state[i].pot += dsnk
 			}
+			state[i].dist = inf
 		}
-		// Augment one unit along the path.
+		// Augment one unit along the path. A request on the path is
+		// always entered through a worker's forward arc; saturating it
+		// makes its reverse the request's one live arc, recorded for the
+		// request-node fast path above.
 		for v := snk; v != src; {
 			ai := prevArc[v]
-			arcs[ai].cap--
-			arcs[ai^1].cap++
-			v = int(arcs[ai^1].to)
+			caps[ai]--
+			caps[rev[ai]]++
+			if v > nw && v < snk {
+				mateArc[v-1-nw] = rev[ai]
+			}
+			v = int(tos[rev[ai]])
 		}
 	}
 
@@ -165,7 +286,7 @@ func MaxWeightFlow(g *Graph) *Result {
 	// saturated (cap 0) and its reverse holds the unit.
 	for i, e := range edges {
 		ai := edgeArc[i]
-		if arcs[ai].cap == 0 && arcs[ai^1].cap == 1 {
+		if caps[ai] == 0 && caps[rev[ai]] == 1 {
 			res.WorkerOf[e.Request] = e.Worker
 			res.RequestOf[e.Worker] = e.Request
 			res.Weight += e.Weight
@@ -175,21 +296,61 @@ func MaxWeightFlow(g *Graph) *Result {
 	return res
 }
 
-type arcHeapItem struct {
-	node int
-	dist float64
+// distHeap is a typed binary min-heap over dist. Its sift rules replicate
+// container/heap exactly — push appends then sifts up with a strict
+// less-than, pop swaps the root with the last element and sifts down
+// preferring the right child only when strictly smaller — so the pop
+// sequence, including the order of equal-distance items, is bit-identical
+// to the heap it replaces, without boxing every item in an interface{}
+// (previously one allocation per push and per pop). Keys and payloads are
+// parallel slices: sift comparisons then touch a dense float64 array
+// (eight keys per cache line), which is what the sift loops spend their
+// time on.
+type distHeap struct {
+	dists []float64
+	nodes []int32
 }
 
-type arcHeap []arcHeapItem
+func (h *distHeap) push(dist float64, node int32) {
+	h.dists = append(h.dists, dist)
+	h.nodes = append(h.nodes, node)
+	// Sift up (container/heap's `up`).
+	j := len(h.dists) - 1
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(h.dists[j] < h.dists[i]) {
+			break
+		}
+		h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+		h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+		j = i
+	}
+}
 
-func (h arcHeap) Len() int            { return len(h) }
-func (h arcHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h arcHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arcHeap) Push(x interface{}) { *h = append(*h, x.(arcHeapItem)) }
-func (h *arcHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *distHeap) pop() (float64, int32) {
+	n := len(h.dists) - 1
+	h.dists[0], h.dists[n] = h.dists[n], h.dists[0]
+	h.nodes[0], h.nodes[n] = h.nodes[n], h.nodes[0]
+	// Sift down over the first n items (container/heap's `down`).
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.dists[j2] < h.dists[j1] {
+			j = j2
+		}
+		if !(h.dists[j] < h.dists[i]) {
+			break
+		}
+		h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+		h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+		i = j
+	}
+	d, node := h.dists[n], h.nodes[n]
+	h.dists = h.dists[:n]
+	h.nodes = h.nodes[:n]
+	return d, node
 }

@@ -46,8 +46,69 @@ type Collector struct {
 	breakerClosed       atomic.Int64
 	breakerShortCircuit atomic.Int64
 
+	// Pricing-quoter counters (internal/pricing Quoter stats), folded in
+	// by the platform runtime when a run's matchers wind down.
+	pricingRevenueQuotes    atomic.Int64
+	pricingThresholdQuotes  atomic.Int64
+	pricingMonteCarloQuotes atomic.Int64
+	pricingProbEvals        atomic.Int64
+	pricingTableHits        atomic.Int64
+	pricingScratchReuses    atomic.Int64
+	pricingScratchAllocs    atomic.Int64
+
 	mu      sync.Mutex
 	latency map[string]*stats.Reservoir
+}
+
+// PricingStats is the pricing-quoter section of a Report: quote counts
+// by method, acceptance-probability evaluation volume with the fraction
+// answered from the precomputed CDF tables' payment cache, and scratch
+// reuse. All zero for runs that never price a cooperative request.
+type PricingStats struct {
+	RevenueQuotes    int64   `json:"revenue_quotes"`
+	ThresholdQuotes  int64   `json:"threshold_quotes"`
+	MonteCarloQuotes int64   `json:"monte_carlo_quotes"`
+	ProbEvals        int64   `json:"prob_evals"`
+	TableHits        int64   `json:"table_hits"`
+	TableHitRate     float64 `json:"table_hit_rate"`
+	ScratchReuses    int64   `json:"scratch_reuses"`
+	ScratchAllocs    int64   `json:"scratch_allocs"`
+}
+
+// AddPricing folds one quoter's cumulative counters into the collector.
+// The platform runtime calls it once per matcher at the end of a run;
+// mid-run snapshots therefore show the pricing section still at zero.
+func (c *Collector) AddPricing(p PricingStats) {
+	if c == nil {
+		return
+	}
+	c.pricingRevenueQuotes.Add(p.RevenueQuotes)
+	c.pricingThresholdQuotes.Add(p.ThresholdQuotes)
+	c.pricingMonteCarloQuotes.Add(p.MonteCarloQuotes)
+	c.pricingProbEvals.Add(p.ProbEvals)
+	c.pricingTableHits.Add(p.TableHits)
+	c.pricingScratchReuses.Add(p.ScratchReuses)
+	c.pricingScratchAllocs.Add(p.ScratchAllocs)
+}
+
+// Pricing returns the collector's accumulated pricing-quoter counters.
+func (c *Collector) Pricing() PricingStats {
+	if c == nil {
+		return PricingStats{}
+	}
+	p := PricingStats{
+		RevenueQuotes:    c.pricingRevenueQuotes.Load(),
+		ThresholdQuotes:  c.pricingThresholdQuotes.Load(),
+		MonteCarloQuotes: c.pricingMonteCarloQuotes.Load(),
+		ProbEvals:        c.pricingProbEvals.Load(),
+		TableHits:        c.pricingTableHits.Load(),
+		ScratchReuses:    c.pricingScratchReuses.Load(),
+		ScratchAllocs:    c.pricingScratchAllocs.Load(),
+	}
+	if p.ProbEvals > 0 {
+		p.TableHitRate = float64(p.TableHits) / float64(p.ProbEvals)
+	}
+	return p
 }
 
 // New returns an empty collector.
@@ -279,6 +340,7 @@ type LatencySummary struct {
 // (the schema behind combench's -metrics flag; see EXPERIMENTS.md).
 type Report struct {
 	Counters  Counters         `json:"counters"`
+	Pricing   PricingStats     `json:"pricing"`
 	Latencies []LatencySummary `json:"latencies"`
 }
 
@@ -308,7 +370,7 @@ func (c *Collector) Snapshot() Report {
 		BreakerHalfOpened:    c.breakerHalfOpened.Load(),
 		BreakerClosed:        c.breakerClosed.Load(),
 		BreakerShortCircuits: c.breakerShortCircuit.Load(),
-	}}
+	}, Pricing: c.Pricing()}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()
 	for label, r := range c.latency {

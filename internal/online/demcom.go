@@ -18,11 +18,12 @@ import (
 // that payment, and the nearest accepting worker is claimed (lines
 // 8-26). The platform books v - v' for cooperative requests.
 type DemCOM struct {
-	pool *Pool
-	coop CoopView
-	mc   pricing.MonteCarlo
-	rng  *rand.Rand
-	tr   *trace.Recorder
+	pool    *Pool
+	coop    CoopView
+	quoter  *pricing.TableQuoter
+	scratch *pricing.Scratch
+	rng     *rand.Rand
+	tr      *trace.Recorder
 	// accepting is the reused probe-result scratch consumed in place by
 	// the claim loop; one goroutine drives a matcher, so reuse across
 	// requests is race-free.
@@ -42,8 +43,22 @@ func NewDemCOM(coop CoopView, mc pricing.MonteCarlo, rng *rand.Rand) *DemCOM {
 	if coop == nil {
 		coop = NoCoop{}
 	}
-	return &DemCOM{pool: NewPool(nil), coop: coop, mc: mc, rng: rng}
+	return &DemCOM{
+		pool:    NewPool(nil),
+		coop:    coop,
+		quoter:  pricing.NewQuoter(mc),
+		scratch: pricing.NewScratch(),
+		rng:     rng,
+	}
 }
+
+// SetPricingScan switches the quoter between the CDF-table path (false,
+// the default) and the exact-scan A/B reference path (true). Both paths
+// produce bit-identical quotes; see pricing.TableQuoter.
+func (m *DemCOM) SetPricingScan(scan bool) { m.quoter.Scan = scan }
+
+// PricingStats exposes the quoter's cumulative counters.
+func (m *DemCOM) PricingStats() pricing.Stats { return m.quoter.Stats() }
 
 // Name implements Matcher.
 func (m *DemCOM) Name() string { return "DemCOM" }
@@ -137,7 +152,7 @@ func (m *DemCOM) decide(r *core.Request, sp *trace.Span) Decision {
 const mcGroupCap = 24
 
 func (m *DemCOM) estimatePayment(r *core.Request, cands []Candidate) float64 {
-	group := make([]*pricing.History, len(cands))
+	group := m.scratch.Group(len(cands))
 	for i, c := range cands {
 		group[i] = c.History
 	}
@@ -148,7 +163,7 @@ func (m *DemCOM) estimatePayment(r *core.Request, cands []Candidate) float64 {
 		sort.Slice(group, func(i, j int) bool { return group[i].Min() < group[j].Min() })
 		group = group[:mcGroupCap]
 	}
-	est, err := m.mc.MinOuterPayment(r.Value, group, m.rng)
+	est, err := m.quoter.MinOuterPayment(r.Value, group, m.rng, m.scratch)
 	if err != nil {
 		// Only reachable with invalid configuration; fail safe by
 		// rejecting cooperation (estimate above value).

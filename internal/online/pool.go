@@ -22,10 +22,28 @@ type RangeFilter func(w *core.Worker, r *core.Request) bool
 // use: mutators take the write lock, coverage queries share the read
 // lock, so the concurrent multi-platform runtime can scan one platform's
 // waiting list from every other platform while its owner keeps matching.
+//
+// The default pool (NewPool(nil)) keeps workers in a structure-of-arrays
+// layout over an index.SlotGrid: the grid hands coverage hits back as
+// slots into the pool's parallel worker/arrival arrays, so the
+// eligibility scan reads flat arrays end to end — no per-candidate map
+// lookup, no Entry copying. A caller-supplied index falls back to the
+// generic Entry-based path.
 type Pool struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+
+	// Structure-of-arrays mode (default). grid stores each worker's
+	// coverage disk tagged with its slot; ws/arrivals are the parallel
+	// slot arrays (ws[slot] == nil marks a free slot, recycled via free).
+	grid     *index.SlotGrid
+	ws       []*core.Worker
+	arrivals []core.Time
+	free     []int32
+
+	// Legacy mode: a caller-supplied spatial index plus an ID map.
 	ix      index.Index
 	workers map[int64]*core.Worker
+
 	// Filter optionally refines coverage (e.g. road distance); it must
 	// only ever prune workers whose Euclidean circle covers the request.
 	// Set it before the simulation starts; it is read without locking.
@@ -33,15 +51,16 @@ type Pool struct {
 }
 
 // NewPool returns an empty pool over the given spatial index. A nil
-// index defaults to a grid with the default cell size.
+// index selects the default structure-of-arrays grid with the default
+// cell size.
 func NewPool(ix index.Index) *Pool {
 	if ix == nil {
-		ix = index.NewGrid(index.DefaultCell)
+		return &Pool{grid: index.NewSlotGrid(index.DefaultCell)}
 	}
 	return &Pool{ix: ix, workers: make(map[int64]*core.Worker)}
 }
 
-// entryScratch recycles the index-query buffers of the hot coverage
+// entryScratch recycles the index-query buffers of the legacy coverage
 // path. A sync.Pool (rather than one buffer per Pool) keeps concurrent
 // readers of the same waiting list from sharing scratch space.
 var entryScratch = sync.Pool{
@@ -51,13 +70,41 @@ var entryScratch = sync.Pool{
 	},
 }
 
+// slotScratch recycles the slot buffers of the structure-of-arrays
+// coverage path, for the same reason.
+var slotScratch = sync.Pool{
+	New: func() interface{} {
+		s := make([]int32, 0, 64)
+		return &s
+	},
+}
+
 // Add registers a worker as waiting. Re-adding an ID replaces the entry
 // (a worker returning after a completed service arrives as a fresh
 // waiting-list entry).
 func (p *Pool) Add(w *core.Worker) {
 	p.mu.Lock()
-	p.workers[w.ID] = w
-	p.ix.Insert(index.Entry{ID: w.ID, Circle: w.Range()})
+	if p.grid != nil {
+		if slot, ok := p.grid.Remove(w.ID); ok {
+			p.ws[slot] = nil
+			p.free = append(p.free, slot)
+		}
+		var slot int32
+		if n := len(p.free); n > 0 {
+			slot = p.free[n-1]
+			p.free = p.free[:n-1]
+			p.ws[slot] = w
+			p.arrivals[slot] = w.Arrival
+		} else {
+			slot = int32(len(p.ws))
+			p.ws = append(p.ws, w)
+			p.arrivals = append(p.arrivals, w.Arrival)
+		}
+		p.grid.Insert(index.Entry{ID: w.ID, Circle: w.Range()}, slot)
+	} else {
+		p.workers[w.ID] = w
+		p.ix.Insert(index.Entry{ID: w.ID, Circle: w.Range()})
+	}
 	p.mu.Unlock()
 }
 
@@ -68,6 +115,15 @@ func (p *Pool) Add(w *core.Worker) {
 func (p *Pool) Remove(id int64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.grid != nil {
+		slot, ok := p.grid.Remove(id)
+		if !ok {
+			return false
+		}
+		p.ws[slot] = nil
+		p.free = append(p.free, slot)
+		return true
+	}
 	if _, ok := p.workers[id]; !ok {
 		return false
 	}
@@ -79,17 +135,26 @@ func (p *Pool) Remove(id int64) bool {
 // Get returns the waiting worker with the given ID.
 func (p *Pool) Get(id int64) (*core.Worker, bool) {
 	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.grid != nil {
+		slot, ok := p.grid.Slot(id)
+		if !ok {
+			return nil, false
+		}
+		return p.ws[slot], true
+	}
 	w, ok := p.workers[id]
-	p.mu.RUnlock()
 	return w, ok
 }
 
 // Len returns the number of waiting workers.
 func (p *Pool) Len() int {
 	p.mu.RLock()
-	n := len(p.workers)
-	p.mu.RUnlock()
-	return n
+	defer p.mu.RUnlock()
+	if p.grid != nil {
+		return p.grid.Len()
+	}
+	return len(p.workers)
 }
 
 // Covering returns the waiting workers able to serve r under the time
@@ -102,9 +167,28 @@ func (p *Pool) Covering(r *core.Request) []*core.Worker {
 
 // AppendCovering appends to dst the waiting workers able to serve r
 // under the time and range constraints of Definition 2.6 and returns the
-// extended slice. The index-query scratch is pooled, so a caller that
-// also reuses dst performs no per-request allocation.
+// extended slice. A caller that reuses dst performs no per-request
+// allocation.
 func (p *Pool) AppendCovering(dst []*core.Worker, r *core.Request) []*core.Worker {
+	if p.grid != nil {
+		sp := slotScratch.Get().(*[]int32)
+		p.mu.RLock()
+		slots := p.grid.AppendSlots((*sp)[:0], r.Loc)
+		for _, slot := range slots {
+			if p.arrivals[slot] > r.Arrival {
+				continue
+			}
+			w := p.ws[slot]
+			if p.Filter != nil && !p.Filter(w, r) {
+				continue
+			}
+			dst = append(dst, w)
+		}
+		p.mu.RUnlock()
+		*sp = slots[:0]
+		slotScratch.Put(sp)
+		return dst
+	}
 	sp := entryScratch.Get().(*[]index.Entry)
 	p.mu.RLock()
 	entries := p.ix.Covering((*sp)[:0], r.Loc)
@@ -125,14 +209,36 @@ func (p *Pool) AppendCovering(dst []*core.Worker, r *core.Request) []*core.Worke
 }
 
 // Nearest returns the closest waiting worker able to serve r, ties by
-// smallest ID; ok=false when none can. It scans the index entries
+// smallest ID; ok=false when none can. It scans the coverage hits
 // directly, so the hot inner-assignment path allocates nothing.
 func (p *Pool) Nearest(r *core.Request) (*core.Worker, bool) {
+	var best *core.Worker
+	bestD := 0.0
+	if p.grid != nil {
+		sp := slotScratch.Get().(*[]int32)
+		p.mu.RLock()
+		slots := p.grid.AppendSlots((*sp)[:0], r.Loc)
+		for _, slot := range slots {
+			if p.arrivals[slot] > r.Arrival {
+				continue
+			}
+			w := p.ws[slot]
+			if p.Filter != nil && !p.Filter(w, r) {
+				continue
+			}
+			d := w.Loc.Dist2(r.Loc)
+			if best == nil || d < bestD || (d == bestD && w.ID < best.ID) {
+				best, bestD = w, d
+			}
+		}
+		p.mu.RUnlock()
+		*sp = slots[:0]
+		slotScratch.Put(sp)
+		return best, best != nil
+	}
 	sp := entryScratch.Get().(*[]index.Entry)
 	p.mu.RLock()
 	entries := p.ix.Covering((*sp)[:0], r.Loc)
-	var best *core.Worker
-	bestD := 0.0
 	for _, e := range entries {
 		w := p.workers[e.ID]
 		if w == nil || w.Arrival > r.Arrival {
@@ -158,6 +264,17 @@ func (p *Pool) Nearest(r *core.Request) (*core.Worker, bool) {
 func (p *Pool) Each(fn func(*core.Worker) bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
+	if p.grid != nil {
+		for _, w := range p.ws {
+			if w == nil {
+				continue
+			}
+			if !fn(w) {
+				return
+			}
+		}
+		return
+	}
 	for _, w := range p.workers {
 		if !fn(w) {
 			return

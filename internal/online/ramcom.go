@@ -23,6 +23,8 @@ import (
 type RamCOM struct {
 	pool      *Pool
 	coop      CoopView
+	quoter    *pricing.TableQuoter
+	scratch   *pricing.Scratch
 	rng       *rand.Rand
 	threshold float64
 	tr        *trace.Recorder
@@ -76,11 +78,21 @@ func NewRamCOM(maxValue float64, coop CoopView, rng *rand.Rand) *RamCOM {
 	return &RamCOM{
 		pool:      NewPool(nil),
 		coop:      coop,
+		quoter:    pricing.NewQuoter(pricing.DefaultMonteCarlo),
+		scratch:   pricing.NewScratch(),
 		rng:       rng,
 		threshold: math.Exp(float64(k)),
 		MC:        pricing.DefaultMonteCarlo,
 	}
 }
+
+// SetPricingScan switches the quoter between the CDF-table path (false,
+// the default) and the exact-scan A/B reference path (true). Both paths
+// produce bit-identical quotes; see pricing.TableQuoter.
+func (m *RamCOM) SetPricingScan(scan bool) { m.quoter.Scan = scan }
+
+// PricingStats exposes the quoter's cumulative counters.
+func (m *RamCOM) PricingStats() pricing.Stats { return m.quoter.Stats() }
 
 // Name implements Matcher.
 func (m *RamCOM) Name() string { return "RamCOM" }
@@ -172,7 +184,7 @@ func (m *RamCOM) tryOuter(r *core.Request, sp *trace.Span) (Decision, bool) {
 		return Decision{Reason: ReasonNoWorkers}, false
 	}
 	t = sp.StageStart()
-	group := make([]*pricing.History, len(cands))
+	group := m.scratch.Group(len(cands))
 	for i, c := range cands {
 		group[i] = c.History
 	}
@@ -216,7 +228,8 @@ func (m *RamCOM) tryOuter(r *core.Request, sp *trace.Span) (Decision, bool) {
 func (m *RamCOM) quote(r *core.Request, group []*pricing.History) (float64, bool) {
 	switch {
 	case m.MinPaymentPricing:
-		est, err := m.MC.MinOuterPayment(r.Value, group, m.rng)
+		m.quoter.MC = m.MC // honor post-construction MC changes
+		est, err := m.quoter.MinOuterPayment(r.Value, group, m.rng, m.scratch)
 		if err != nil {
 			return 0, false
 		}
@@ -227,13 +240,13 @@ func (m *RamCOM) quote(r *core.Request, group []*pricing.History) (float64, bool
 		// algorithms disagree on identical estimates.
 		return est, true
 	case m.ThresholdPricing:
-		q, err := pricing.ThresholdQuote(r.Value, group, 1-m.rng.Float64() /* (0,1] */)
+		q, err := m.quoter.ThresholdQuote(r.Value, group, 1-m.rng.Float64() /* (0,1] */, m.scratch)
 		if err != nil || q.Payment <= 0 {
 			return 0, false
 		}
 		return q.Payment, true
 	default:
-		q, err := pricing.MaxExpectedRevenue(r.Value, group)
+		q, err := m.quoter.MaxExpectedRevenue(r.Value, group, m.scratch)
 		if err != nil || q.ExpectedRev <= 0 {
 			return 0, false
 		}

@@ -181,6 +181,7 @@ func (e *Engine) Finish() (*Result, error) {
 	}
 	e.s.res.Recycled = e.recycled
 	e.s.res.Lent = e.s.hub.Lent()
+	e.s.foldPricing()
 	return e.s.res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"crossmatch/internal/fault"
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
+	"crossmatch/internal/pricing"
 	"crossmatch/internal/stats"
 	"crossmatch/internal/trace"
 )
@@ -30,6 +31,14 @@ type poolHolder interface{ Pool() *online.Pool }
 // traceBinder is implemented by matchers that can record per-request
 // decision spans; matchers without it simply run untraced.
 type traceBinder interface{ BindTrace(*trace.Recorder) }
+
+// pricingSwitcher is implemented by matchers whose quoter can A/B the
+// CDF-table path against the exact scan (Config.PricingScan).
+type pricingSwitcher interface{ SetPricingScan(bool) }
+
+// pricingStatsProvider is implemented by matchers that expose their
+// pricing quoter's counters; the run folds them into Config.Metrics.
+type pricingStatsProvider interface{ PricingStats() pricing.Stats }
 
 // Config controls a simulation run.
 type Config struct {
@@ -95,6 +104,12 @@ type Config struct {
 	// it, and a negative value disables recording for this run. Only
 	// meaningful together with Trace.
 	TraceSample float64
+	// PricingScan switches the COM matchers' pricing quoter from the
+	// precomputed History CDF-table path (the default) to the exact
+	// sorted-values scan. The two paths produce bit-identical quotes and
+	// therefore identical results; the knob exists to A/B their cost in
+	// one run (crossmatch.WithPricingTables).
+	PricingScan bool
 }
 
 // PlatformResult aggregates one platform's outcomes.
@@ -295,6 +310,9 @@ func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) 
 	for _, pid := range s.pids {
 		rng := rand.New(rand.NewSource(root.Int63()))
 		m := factory(pid, s.hub.ViewFor(pid), rng)
+		if sw, ok := m.(pricingSwitcher); ok {
+			sw.SetPricingScan(cfg.PricingScan)
+		}
 		holder, ok := m.(poolHolder)
 		if !ok {
 			return nil, fmt.Errorf("platform: matcher %q does not expose its pool", m.Name())
@@ -487,12 +505,38 @@ func (s *runState) runSequential(ctx context.Context) (*Result, error) {
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
 			s.res.Lent = s.hub.Lent()
+			s.foldPricing()
 			return s.res, fmt.Errorf("platform: %w", err)
 		}
 		return nil, err
 	}
 	s.res.Lent = s.hub.Lent()
+	s.foldPricing()
 	return s.res, nil
+}
+
+// foldPricing folds every matcher's pricing-quoter counters into the
+// run's metrics collector. Call it only after the goroutines driving the
+// matchers have stopped: quoter stats are plain integers owned by the
+// matcher goroutine.
+func (s *runState) foldPricing() {
+	if s.cfg.Metrics == nil {
+		return
+	}
+	for _, pid := range s.pids {
+		if pp, ok := s.matchers[pid].(pricingStatsProvider); ok {
+			st := pp.PricingStats()
+			s.cfg.Metrics.AddPricing(metrics.PricingStats{
+				RevenueQuotes:    st.RevenueQuotes,
+				ThresholdQuotes:  st.ThresholdQuotes,
+				MonteCarloQuotes: st.MonteCarloQuotes,
+				ProbEvals:        st.ProbEvals,
+				TableHits:        st.TableHits,
+				ScratchReuses:    st.ScratchReuses,
+				ScratchAllocs:    st.ScratchAllocs,
+			})
+		}
+	}
 }
 
 func maxWorkerID(stream *core.Stream) int64 {

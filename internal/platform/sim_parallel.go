@@ -44,6 +44,7 @@ func (s *runState) runParallel(ctx context.Context) (*Result, error) {
 		}(i, pid, sub)
 	}
 	wg.Wait()
+	s.foldPricing() // all matcher goroutines have joined
 
 	for _, o := range outs {
 		s.res.Recycled += o.recycled

@@ -1,10 +1,6 @@
 package pricing
 
-import (
-	"fmt"
-	"math"
-	"sort"
-)
+import "math"
 
 // Quote is the outcome of expected-revenue pricing for one cooperative
 // request: the payment to offer, the probability any eligible worker
@@ -34,88 +30,15 @@ type Quote struct {
 // RamCOM's incentive step while preserving its interface — RamCOM's
 // competitive ratio only improves. The 1/e-approximate behaviour is
 // available as ThresholdQuote for the ablation study.
+// This entry point predates the Quoter/Scratch API and remains as a
+// shim over TableQuoter's sweep (breakpoint union in ascending payment
+// order with an incrementally maintained decline product, O(B log B) for
+// B history points).
 func MaxExpectedRevenue(value float64, group []*History) (Quote, error) {
-	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
-		return Quote{}, fmt.Errorf("pricing: request value %v must be positive and finite", value)
-	}
-	if len(group) == 0 {
-		return Quote{}, nil // nobody to pay; zero quote means "reject"
-	}
-
-	// Sweep the union of breakpoints in ascending payment order,
-	// maintaining the product of per-worker decline probabilities
-	// incrementally: worker w's acceptance probability only changes at
-	// w's own history values, so each breakpoint is an O(1) update
-	// instead of an O(|W|) recomputation. Total O(B log B) for B history
-	// points.
-	type breakpoint struct {
-		pay  float64
-		w    int
-		newP float64
-	}
-	var bps []breakpoint
-	for wi, h := range group {
-		if h.Len() == 0 {
-			// Empty history: accepts any positive payment (probability 1
-			// from the smallest representable payment).
-			bps = append(bps, breakpoint{pay: math.Nextafter(0, 1), w: wi, newP: 1})
-			continue
-		}
-		vals := h.Values()
-		for i, v := range vals {
-			if v > value {
-				break
-			}
-			// Skip duplicates; the final probability at v is the count
-			// of values <= v over N, i.e. set at the LAST copy of v.
-			if i+1 < len(vals) && vals[i+1] == v {
-				continue
-			}
-			bps = append(bps, breakpoint{pay: v, w: wi, newP: float64(i+1) / float64(h.Len())})
-		}
-	}
-	if len(bps) == 0 {
-		return Quote{}, nil // nobody in the group can be afforded
-	}
-	sort.Slice(bps, func(i, j int) bool { return bps[i].pay < bps[j].pay })
-
-	cur := make([]float64, len(group)) // current per-worker acceptance prob
-	declineProd := 1.0                 // product of (1 - cur[w]) over workers with cur < 1
-	zeros := 0                         // number of workers with cur == 1
-
-	best := Quote{}
-	for i := 0; i < len(bps); {
-		pay := bps[i].pay
-		for ; i < len(bps) && bps[i].pay == pay; i++ {
-			b := bps[i]
-			old := cur[b.w]
-			if old == 1 {
-				zeros--
-			} else {
-				declineProd /= 1 - old
-			}
-			if b.newP == 1 {
-				zeros++
-			} else {
-				declineProd *= 1 - b.newP
-			}
-			cur[b.w] = b.newP
-		}
-		p := 1.0
-		if zeros == 0 {
-			p = 1 - declineProd
-		}
-		if p <= 0 {
-			continue
-		}
-		e := (value - pay) * p
-		// Prefer strictly better expected revenue; on ties prefer the
-		// higher payment (better acceptance, same revenue).
-		if e > best.ExpectedRev+1e-15 || (almostEq(e, best.ExpectedRev) && pay > best.Payment) {
-			best = Quote{Payment: pay, AcceptProb: p, ExpectedRev: e}
-		}
-	}
-	return best, nil
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	var q TableQuoter
+	return q.MaxExpectedRevenue(value, group, s)
 }
 
 func almostEq(a, b float64) bool {
@@ -129,16 +52,6 @@ func almostEq(a, b float64) bool {
 // Concretely it quotes the payment value * exp(-u) with u uniform in
 // (0, 1], mirroring the exponential-threshold trick of [14]'s analysis.
 func ThresholdQuote(value float64, group []*History, u float64) (Quote, error) {
-	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
-		return Quote{}, fmt.Errorf("pricing: request value %v must be positive and finite", value)
-	}
-	if u <= 0 || u > 1 {
-		return Quote{}, fmt.Errorf("pricing: threshold draw u = %v outside (0,1]", u)
-	}
-	if len(group) == 0 {
-		return Quote{}, nil
-	}
-	pay := value * math.Exp(-u)
-	p := GroupAcceptProb(pay, group)
-	return Quote{Payment: pay, AcceptProb: p, ExpectedRev: (value - pay) * p}, nil
+	var q TableQuoter
+	return q.ThresholdQuote(value, group, u, nil)
 }

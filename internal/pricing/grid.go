@@ -20,6 +20,16 @@ type Grid struct {
 	slot   int64   // ticks per time slot
 	decay  float64 // multiplicative decay applied per elapsed slot
 	counts map[gridKey]*gridCell
+	// horizon is the eviction horizon in slots: once a cell has gone
+	// untouched that long, its decayed counts are below evictEps of a
+	// single arrival and the cell reports the same ratio as an absent
+	// one, so it is dropped. Zero means never evict (decay == 1, where
+	// counts never fade). Without eviction the map grows with every cell
+	// any arrival ever touched — unbounded on long-running streams.
+	horizon int64
+	// ops counts mutations since the last sweep; sweeps run when ops
+	// reaches the map size, amortizing eviction to O(1) per mutation.
+	ops int
 }
 
 type gridKey struct{ cx, cy int32 }
@@ -41,14 +51,27 @@ func NewGrid(cellKm float64, slotTicks int64, decay float64) (*Grid, error) {
 	if !(decay > 0 && decay <= 1) {
 		return nil, fmt.Errorf("pricing: decay %v outside (0,1]", decay)
 	}
-	return &Grid{cell: cellKm, slot: slotTicks, decay: decay, counts: map[gridKey]*gridCell{}}, nil
+	var horizon int64
+	if decay < 1 {
+		horizon = int64(math.Ceil(math.Log(evictEps) / math.Log(decay)))
+		if horizon < 1 {
+			horizon = 1
+		}
+	}
+	return &Grid{cell: cellKm, slot: slotTicks, decay: decay, counts: map[gridKey]*gridCell{}, horizon: horizon}, nil
 }
+
+// evictEps is the relative weight below which a decayed count no longer
+// moves the smoothed ratio: a cell untouched for log(evictEps)/log(decay)
+// slots is indistinguishable from an empty one.
+const evictEps = 1e-9
 
 func (g *Grid) key(p geo.Point) gridKey {
 	return gridKey{int32(math.Floor(p.X / g.cell)), int32(math.Floor(p.Y / g.cell))}
 }
 
 func (g *Grid) cellAt(p geo.Point, tick int64) *gridCell {
+	g.evict(tick)
 	k := g.key(p)
 	c := g.counts[k]
 	if c == nil {
@@ -57,6 +80,23 @@ func (g *Grid) cellAt(p geo.Point, tick int64) *gridCell {
 	}
 	g.age(c, tick)
 	return c
+}
+
+// evict sweeps out cells untouched for more than one decay horizon. The
+// sweep runs at most once per len(counts) mutations, so its full-map
+// cost amortizes to O(1) per RecordDemand/RecordSupply.
+func (g *Grid) evict(tick int64) {
+	g.ops++
+	if g.horizon == 0 || g.ops < len(g.counts) {
+		return
+	}
+	g.ops = 0
+	slot := tick / g.slot
+	for k, c := range g.counts {
+		if slot-c.lastSlot > g.horizon {
+			delete(g.counts, k)
+		}
+	}
 }
 
 // age applies the per-slot decay for slots elapsed since the last touch.

@@ -29,6 +29,15 @@ import (
 // offered payment v'.
 type History struct {
 	values []float64 // sorted ascending
+	// CDF table: uniq holds the distinct values ascending and cdf[i] the
+	// acceptance probability at payment uniq[i], i.e. (number of values
+	// <= uniq[i]) / N computed with the same float64 division AcceptProb
+	// performs — so a table lookup is bit-identical to the exact scan.
+	// Built eagerly (never lazily: histories are read concurrently under
+	// the parallel runtime) by rebuildTable; uniq and cdf share one
+	// backing allocation.
+	uniq []float64
+	cdf  []float64
 }
 
 // NewHistory builds a history from completed request values. The input
@@ -42,7 +51,38 @@ func NewHistory(values []float64) (*History, error) {
 		}
 	}
 	sort.Float64s(vs)
-	return &History{values: vs}, nil
+	h := &History{values: vs}
+	h.rebuildTable()
+	return h, nil
+}
+
+// rebuildTable recomputes the uniq/cdf acceptance table from the sorted
+// values. O(n), one allocation shared by both slices.
+func (h *History) rebuildTable() {
+	n := len(h.values)
+	if n == 0 {
+		h.uniq, h.cdf = nil, nil
+		return
+	}
+	d := 1
+	for i := 1; i < n; i++ {
+		if h.values[i] != h.values[i-1] {
+			d++
+		}
+	}
+	backing := make([]float64, 2*d)
+	uniq, cdf := backing[:d], backing[d:]
+	j := 0
+	fn := float64(n)
+	for i := 0; i < n; i++ {
+		if i+1 < n && h.values[i+1] == h.values[i] {
+			continue // probability at a value is set by its last copy
+		}
+		uniq[j] = h.values[i]
+		cdf[j] = float64(i+1) / fn
+		j++
+	}
+	h.uniq, h.cdf = uniq, cdf
 }
 
 // MustHistory is NewHistory for static test fixtures; it panics on error.
@@ -78,6 +118,30 @@ func (h *History) AcceptProb(payment float64) float64 {
 	// Number of values <= payment.
 	k := sort.SearchFloat64s(h.values, math.Nextafter(payment, math.Inf(1)))
 	return float64(k) / float64(n)
+}
+
+// AcceptProbTable returns pr(v', w) from the precomputed CDF table: the
+// probability at the largest distinct value <= payment. It is
+// bit-identical to AcceptProb for every payment (the cdf entries are the
+// same float64 divisions the scan performs) while searching the distinct
+// values only; the fuzz test FuzzAcceptProbTableEquivalence guards the
+// equivalence.
+func (h *History) AcceptProbTable(payment float64) float64 {
+	if payment <= 0 {
+		return 0
+	}
+	if len(h.uniq) == 0 {
+		if h.Len() == 0 {
+			return 1
+		}
+		return 0 // unreachable: the table exists whenever values do
+	}
+	// Index of the last uniq value <= payment.
+	k := sort.SearchFloat64s(h.uniq, math.Nextafter(payment, math.Inf(1)))
+	if k == 0 {
+		return 0
+	}
+	return h.cdf[k-1]
 }
 
 // Accepts samples the worker's decision for the offered payment: it
@@ -125,6 +189,7 @@ func (h *History) Record(value float64) error {
 	h.values = append(h.values, 0)
 	copy(h.values[i+1:], h.values[i:])
 	h.values[i] = value
+	h.rebuildTable()
 	return nil
 }
 

@@ -4,9 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-
-	"crossmatch/internal/parallel"
 )
 
 // MonteCarlo estimates the minimum outer payment of a cooperative
@@ -66,54 +63,15 @@ func (mc MonteCarlo) Validate() error {
 // paper specifies. The result is the mean over instances.
 //
 // The returned estimate is deterministic given rng's state.
+//
+// This entry point predates the Quoter/Scratch API and remains as a
+// shim: it borrows a pooled Scratch and delegates to TableQuoter, whose
+// estimator consumes rng draw for draw identically.
 func (mc MonteCarlo) MinOuterPayment(value float64, group []*History, rng *rand.Rand) (float64, error) {
-	if err := mc.Validate(); err != nil {
-		return 0, err
-	}
-	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
-		return 0, fmt.Errorf("pricing: request value %v must be positive and finite", value)
-	}
-	if len(group) == 0 {
-		// No eligible outer worker: any payment is unacceptable. Signal
-		// rejection the same way full-price refusal does.
-		return value + epsilonFor(value), nil
-	}
-
-	// The n_s instances are independent, so they split into mcShards
-	// chunks, each driven by its own sub-RNG whose seed is pre-drawn from
-	// the caller's rng. The seeds are always drawn, in shard order, for
-	// the full fixed shard count — never a machine-dependent one — so the
-	// estimate (and the caller's rng state afterwards) is identical
-	// whether the shards execute serially or across GOMAXPROCS cores.
-	ns := mc.Instances()
-	seeds := make([]int64, mcShards)
-	for i := range seeds {
-		seeds[i] = rng.Int63()
-	}
-	workers := 1
-	if ns >= mcParallelMin && runtime.GOMAXPROCS(0) > 1 {
-		workers = 0 // let the pool use GOMAXPROCS
-	}
-	sums, err := parallel.Map(workers, mcShards, func(shard int) (float64, error) {
-		lo, hi := shard*ns/mcShards, (shard+1)*ns/mcShards
-		return mc.sampleInstances(value, group, hi-lo, rand.New(rand.NewSource(seeds[shard]))), nil
-	})
-	if err != nil {
-		return 0, err
-	}
-	sum := 0.0
-	for _, s := range sums {
-		sum += s
-	}
-	est := sum / float64(ns)
-	// No payment below the cheapest value any group member ever accepted
-	// can attract anyone (Definition 3.1 gives it probability zero), so
-	// the minimum outer payment is clamped up to that exact floor. The
-	// dichotomy's v_l can undershoot it by up to Xi*value.
-	if floor := groupFloor(group); est < floor {
-		est = floor
-	}
-	return est, nil
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	q := TableQuoter{MC: mc}
+	return q.MinOuterPayment(value, group, rng, s)
 }
 
 // mcShards is the number of sub-streams the sampling instances split
@@ -127,47 +85,6 @@ const mcShards = 8
 // mcParallelMin is the instance count below which the shards run inline:
 // tiny configurations are dominated by fan-out overhead.
 const mcParallelMin = 64
-
-// sampleInstances runs n independent sampling instances of Algorithm 2
-// against group and returns the sum of their contributions. rng is
-// private to the call, making shards independent and order-free.
-func (mc MonteCarlo) sampleInstances(value float64, group []*History, n int, rng *rand.Rand) float64 {
-	anyAccepts := func(payment float64) bool {
-		for _, h := range group {
-			if h.Accepts(payment, rng) {
-				return true
-			}
-		}
-		return false
-	}
-	eps := epsilonFor(value)
-	sum := 0.0
-	for i := 0; i < n; i++ {
-		if !anyAccepts(value) {
-			sum += value + eps
-			continue
-		}
-		vl, vh := 0.0, value
-		vm := vh / 2
-		for vm-vl > mc.Xi*value {
-			if anyAccepts(vm) {
-				vh = vm
-			} else {
-				vl = vm
-			}
-			vm = (vh-vl)/2 + vl
-		}
-		// The instance contributes the lower bracket v_l: Section III-B2
-		// states the minimum outer payment "is approximated by these
-		// v_l". Taking the bracket's low end (rather than the midpoint)
-		// keeps the estimate at or below each instance's sampled
-		// acceptance frontier, which is what produces the paper's
-		// characteristically low DemCOM acceptance ratio (~17%): the
-		// platform offers the least it might get away with.
-		sum += vl
-	}
-	return sum
-}
 
 // groupFloor returns the smallest payment with non-zero group acceptance
 // probability: the minimum history value across the group, or the

@@ -1,0 +1,481 @@
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crossmatch/internal/fastrand"
+	"crossmatch/internal/parallel"
+)
+
+// Quoter is the pricing seam the matchers drive: every quote method
+// takes an explicit per-goroutine Scratch so the hot path performs no
+// per-call allocation. One Quoter (and one Scratch) belongs to one
+// matcher goroutine; the Monte-Carlo shards inside MinOuterPayment are
+// the only internal fan-out and use per-shard sub-scratch, so a Quoter
+// never needs locking.
+type Quoter interface {
+	// MaxExpectedRevenue computes the exact Definition 4.1 maximizer
+	// (see the package function of the same name).
+	MaxExpectedRevenue(value float64, group []*History, s *Scratch) (Quote, error)
+	// ThresholdQuote is the 1/e-style randomized threshold quote.
+	ThresholdQuote(value float64, group []*History, u float64, s *Scratch) (Quote, error)
+	// MinOuterPayment runs the Algorithm 2 Monte-Carlo estimator.
+	MinOuterPayment(value float64, group []*History, rng *rand.Rand, s *Scratch) (float64, error)
+	// Stats returns the cumulative quote counters.
+	Stats() Stats
+}
+
+// Stats are a Quoter's cumulative counters. Read them after the runs
+// driving the quoter have finished; they are plain integers updated on
+// the quoter's goroutine.
+type Stats struct {
+	// Quote counts by method.
+	RevenueQuotes    int64 `json:"revenue_quotes"`
+	ThresholdQuotes  int64 `json:"threshold_quotes"`
+	MonteCarloQuotes int64 `json:"monte_carlo_quotes"`
+	// ProbEvals counts acceptance-probability evaluations performed while
+	// quoting; TableHits the subset answered from the per-call payment
+	// cache over the History CDF tables instead of a fresh search.
+	ProbEvals int64 `json:"prob_evals"`
+	TableHits int64 `json:"table_hits"`
+	// ScratchReuses counts quote calls that arrived with a caller-owned
+	// Scratch; ScratchAllocs the calls that had to allocate one.
+	ScratchReuses int64 `json:"scratch_reuses"`
+	ScratchAllocs int64 `json:"scratch_allocs"`
+}
+
+// TableHitRate returns TableHits / ProbEvals, or 0 before any evaluation.
+func (s Stats) TableHitRate() float64 {
+	if s.ProbEvals == 0 {
+		return 0
+	}
+	return float64(s.TableHits) / float64(s.ProbEvals)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.RevenueQuotes += o.RevenueQuotes
+	s.ThresholdQuotes += o.ThresholdQuotes
+	s.MonteCarloQuotes += o.MonteCarloQuotes
+	s.ProbEvals += o.ProbEvals
+	s.TableHits += o.TableHits
+	s.ScratchReuses += o.ScratchReuses
+	s.ScratchAllocs += o.ScratchAllocs
+}
+
+// TableQuoter is the standard Quoter: acceptance probabilities come from
+// the precomputed History CDF tables (bit-identical to the exact scan)
+// unless Scan flips the A/B reference path back on, and every reusable
+// buffer lives in the caller's Scratch.
+type TableQuoter struct {
+	// MC configures the Algorithm 2 estimator behind MinOuterPayment.
+	MC MonteCarlo
+	// Scan switches acceptance-probability evaluations from the CDF
+	// tables to the exact sorted-values scan. Results are bit-identical
+	// either way (the tables store the same float64 divisions); the knob
+	// exists so callers can A/B the two paths in one run.
+	Scan bool
+
+	stats Stats
+}
+
+// NewQuoter returns a table-backed quoter for the given Monte-Carlo
+// configuration.
+func NewQuoter(mc MonteCarlo) *TableQuoter { return &TableQuoter{MC: mc} }
+
+// Stats implements Quoter.
+func (q *TableQuoter) Stats() Stats { return q.stats }
+
+// prob evaluates one worker's acceptance probability on the configured
+// path. Both branches return identical bits for every payment.
+func (q *TableQuoter) prob(h *History, payment float64) float64 {
+	if q.Scan {
+		return h.AcceptProb(payment)
+	}
+	return h.AcceptProbTable(payment)
+}
+
+// breakpoint is one step of the group acceptance CDF: at payment pay,
+// worker w's acceptance probability becomes newP.
+type breakpoint struct {
+	pay  float64
+	w    int
+	newP float64
+}
+
+// Scratch is the per-goroutine buffer set of a Quoter. A Scratch must
+// not be copied or shared between goroutines; matchers keep one for the
+// lifetime of a run. The zero value is not usable — call NewScratch.
+type Scratch struct {
+	group []*History  // candidate-group buffer for matchers (Group)
+	bps   []breakpoint
+	cur   []float64
+	seeds [mcShards]int64
+	shard [mcShards]mcShard
+}
+
+// mcShard is one Monte-Carlo sub-stream's private state: a reusable RNG
+// re-seeded per quote (identical stream to a fresh
+// rand.New(rand.NewSource(seed))) and the per-call payment-probability
+// cache. The dichotomy of Algorithm 2 probes payments on a small dyadic
+// ladder, so virtually every probe after the first at a payment level is
+// a cache hit.
+type mcShard struct {
+	src   fastrand.Source
+	rng   *rand.Rand
+	pays  []float64 // distinct payments probed this call
+	probs []float64 // len(pays) x nw matrix; NaN = not yet evaluated
+	// per-call counters, folded into the quoter after the shards join
+	hits, evals int64
+}
+
+// mcPayCacheCap bounds the payment cache; probes beyond it (unreachable
+// at practical Xi) are evaluated uncached, which stays exact.
+const mcPayCacheCap = 64
+
+// NewScratch returns a ready Scratch. The Monte-Carlo shard RNG state is
+// built once here (~12 KiB per shard) and re-seeded per quote, which is
+// what removes the rand.NewSource construction from the hot path.
+func NewScratch() *Scratch {
+	s := &Scratch{}
+	for i := range s.shard {
+		s.shard[i].rng = rand.New(&s.shard[i].src)
+	}
+	return s
+}
+
+// Group returns the scratch's candidate-group buffer resized to n;
+// matchers fill it instead of allocating a fresh []*History per request.
+func (s *Scratch) Group(n int) []*History {
+	if cap(s.group) < n {
+		s.group = make([]*History, n)
+	}
+	return s.group[:n]
+}
+
+// ensure charges the quoter's scratch counters and returns a usable
+// scratch, allocating only when the caller passed nil.
+func (q *TableQuoter) ensure(s *Scratch) *Scratch {
+	if s != nil {
+		q.stats.ScratchReuses++
+		return s
+	}
+	q.stats.ScratchAllocs++
+	return NewScratch()
+}
+
+// row returns the cached probability row for payment (one entry per
+// group member, NaN where not yet evaluated), or nil when the cache is
+// full and the caller should evaluate uncached.
+func (sc *mcShard) row(payment float64, nw int) []float64 {
+	for i, p := range sc.pays {
+		if p == payment {
+			return sc.probs[i*nw : (i+1)*nw]
+		}
+	}
+	if len(sc.pays) >= mcPayCacheCap {
+		return nil
+	}
+	sc.pays = append(sc.pays, payment)
+	lo := (len(sc.pays) - 1) * nw
+	if cap(sc.probs) < lo+nw {
+		grown := make([]float64, lo+nw)
+		copy(grown, sc.probs)
+		sc.probs = grown
+	}
+	sc.probs = sc.probs[:lo+nw]
+	row := sc.probs[lo : lo+nw]
+	for i := range row {
+		row[i] = math.NaN()
+	}
+	return row
+}
+
+// MinOuterPayment implements Quoter: Algorithm 2 with the identical RNG
+// consumption contract of MonteCarlo.MinOuterPayment — the same shard
+// seeds drawn in the same order from rng, the same per-shard instance
+// ranges and draw sequences — so estimates are bit-identical, merely
+// computed without per-call allocation.
+func (q *TableQuoter) MinOuterPayment(value float64, group []*History, rng *rand.Rand, s *Scratch) (float64, error) {
+	if err := q.MC.Validate(); err != nil {
+		return 0, err
+	}
+	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, errBadValue(value)
+	}
+	q.stats.MonteCarloQuotes++
+	if len(group) == 0 {
+		return value + epsilonFor(value), nil
+	}
+	s = q.ensure(s)
+
+	// The seeds are always drawn, in shard order, for the full fixed
+	// shard count — never a machine-dependent one — so the estimate (and
+	// the caller's rng state afterwards) is identical whether the shards
+	// execute serially or across GOMAXPROCS cores.
+	ns := q.MC.Instances()
+	for i := range s.seeds {
+		s.seeds[i] = rng.Int63()
+	}
+	sum := 0.0
+	if ns >= mcParallelMin && runtime.GOMAXPROCS(0) > 1 {
+		sums, err := parallel.Map(0, mcShards, func(shard int) (float64, error) {
+			return q.sampleShard(value, group, shard, ns, s), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range sums {
+			sum += v
+		}
+	} else {
+		for shard := 0; shard < mcShards; shard++ {
+			sum += q.sampleShard(value, group, shard, ns, s)
+		}
+	}
+	for i := range s.shard {
+		sc := &s.shard[i]
+		q.stats.ProbEvals += sc.evals + sc.hits
+		q.stats.TableHits += sc.hits
+		sc.evals, sc.hits = 0, 0
+	}
+	est := sum / float64(ns)
+	// No payment below the cheapest value any group member ever accepted
+	// can attract anyone (Definition 3.1 gives it probability zero), so
+	// the minimum outer payment is clamped up to that exact floor. The
+	// dichotomy's v_l can undershoot it by up to Xi*value.
+	if floor := groupFloor(group); est < floor {
+		est = floor
+	}
+	return est, nil
+}
+
+// sampleShard re-seeds the shard's reusable RNG and runs its slice of
+// the sampling instances, returning the sum of their contributions.
+func (q *TableQuoter) sampleShard(value float64, group []*History, shard, ns int, s *Scratch) float64 {
+	sc := &s.shard[shard]
+	sc.src.Seed(s.seeds[shard])
+	sc.pays = sc.pays[:0]
+	sc.probs = sc.probs[:0]
+	lo, hi := shard*ns/mcShards, (shard+1)*ns/mcShards
+	return q.sampleInstances(value, group, hi-lo, sc)
+}
+
+// sampleInstances runs n independent sampling instances of Algorithm 2
+// against group and returns the sum of their contributions. It mirrors
+// the original estimator draw for draw; only the acceptance-probability
+// evaluations go through the shard's payment cache (probabilities are
+// pure functions of (worker, payment), so caching cannot change bits).
+func (q *TableQuoter) sampleInstances(value float64, group []*History, n int, sc *mcShard) float64 {
+	rng := sc.rng
+	nw := len(group)
+	anyAccepts := func(payment float64) bool {
+		if payment <= 0 {
+			// pr(v', w) = 0 for all workers; the draws still happen.
+			for range group {
+				if rng.Float64() <= 0 {
+					return true
+				}
+			}
+			return false
+		}
+		row := sc.row(payment, nw)
+		for wi, h := range group {
+			var p float64
+			if row == nil {
+				p = q.prob(h, payment)
+				sc.evals++
+			} else if p = row[wi]; p != p { // NaN: not yet evaluated
+				p = q.prob(h, payment)
+				row[wi] = p
+				sc.evals++
+			} else {
+				sc.hits++
+			}
+			if rng.Float64() <= p {
+				return true
+			}
+		}
+		return false
+	}
+	eps := epsilonFor(value)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		if !anyAccepts(value) {
+			sum += value + eps
+			continue
+		}
+		vl, vh := 0.0, value
+		vm := vh / 2
+		for vm-vl > q.MC.Xi*value {
+			if anyAccepts(vm) {
+				vh = vm
+			} else {
+				vl = vm
+			}
+			vm = (vh-vl)/2 + vl
+		}
+		// The instance contributes the lower bracket v_l: Section III-B2
+		// states the minimum outer payment "is approximated by these
+		// v_l". Taking the bracket's low end (rather than the midpoint)
+		// keeps the estimate at or below each instance's sampled
+		// acceptance frontier, which is what produces the paper's
+		// characteristically low DemCOM acceptance ratio (~17%): the
+		// platform offers the least it might get away with.
+		sum += vl
+	}
+	return sum
+}
+
+// MaxExpectedRevenue implements Quoter: the exact Definition 4.1
+// maximizer of the package function of the same name, with the
+// breakpoint and per-worker probability buffers drawn from the scratch.
+// The sweep (breakpoint construction order, sort, incremental product
+// arithmetic) is identical, so quotes are bit-identical.
+func (q *TableQuoter) MaxExpectedRevenue(value float64, group []*History, s *Scratch) (Quote, error) {
+	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return Quote{}, errBadValue(value)
+	}
+	q.stats.RevenueQuotes++
+	if len(group) == 0 {
+		return Quote{}, nil // nobody to pay; zero quote means "reject"
+	}
+	s = q.ensure(s)
+
+	// Collect the union of breakpoints: each worker's acceptance curve
+	// jumps exactly at its distinct history values, which is what the CDF
+	// table stores — so the table path reads (uniq, cdf) pairs directly
+	// while the scan path re-derives them from the raw values. Both emit
+	// the same breakpoints in the same order.
+	bps := s.bps[:0]
+	for wi, h := range group {
+		if h.Len() == 0 {
+			// Empty history: accepts any positive payment (probability 1
+			// from the smallest representable payment).
+			bps = append(bps, breakpoint{pay: math.Nextafter(0, 1), w: wi, newP: 1})
+			continue
+		}
+		if q.Scan {
+			vals := h.Values()
+			for i, v := range vals {
+				if v > value {
+					break
+				}
+				// Skip duplicates; the final probability at v is the count
+				// of values <= v over N, i.e. set at the LAST copy of v.
+				if i+1 < len(vals) && vals[i+1] == v {
+					continue
+				}
+				bps = append(bps, breakpoint{pay: v, w: wi, newP: float64(i+1) / float64(h.Len())})
+			}
+			continue
+		}
+		for i, v := range h.uniq {
+			if v > value {
+				break
+			}
+			bps = append(bps, breakpoint{pay: v, w: wi, newP: h.cdf[i]})
+		}
+	}
+	s.bps = bps // keep the grown buffer
+	if len(bps) == 0 {
+		return Quote{}, nil // nobody in the group can be afforded
+	}
+	sort.Slice(bps, func(i, j int) bool { return bps[i].pay < bps[j].pay })
+
+	// Sweep the breakpoints in ascending payment order, maintaining the
+	// product of per-worker decline probabilities incrementally.
+	if cap(s.cur) < len(group) {
+		s.cur = make([]float64, len(group))
+	}
+	cur := s.cur[:len(group)]
+	for i := range cur {
+		cur[i] = 0
+	}
+	declineProd := 1.0 // product of (1 - cur[w]) over workers with cur < 1
+	zeros := 0         // number of workers with cur == 1
+
+	best := Quote{}
+	for i := 0; i < len(bps); {
+		pay := bps[i].pay
+		for ; i < len(bps) && bps[i].pay == pay; i++ {
+			b := bps[i]
+			old := cur[b.w]
+			if old == 1 {
+				zeros--
+			} else {
+				declineProd /= 1 - old
+			}
+			if b.newP == 1 {
+				zeros++
+			} else {
+				declineProd *= 1 - b.newP
+			}
+			cur[b.w] = b.newP
+		}
+		p := 1.0
+		if zeros == 0 {
+			p = 1 - declineProd
+		}
+		if p <= 0 {
+			continue
+		}
+		e := (value - pay) * p
+		// Prefer strictly better expected revenue; on ties prefer the
+		// higher payment (better acceptance, same revenue).
+		if e > best.ExpectedRev+1e-15 || (almostEq(e, best.ExpectedRev) && pay > best.Payment) {
+			best = Quote{Payment: pay, AcceptProb: p, ExpectedRev: e}
+		}
+	}
+	return best, nil
+}
+
+// ThresholdQuote implements Quoter: the 1/e-style randomized threshold
+// quote of the package function of the same name.
+func (q *TableQuoter) ThresholdQuote(value float64, group []*History, u float64, s *Scratch) (Quote, error) {
+	if value <= 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return Quote{}, errBadValue(value)
+	}
+	if u <= 0 || u > 1 {
+		return Quote{}, errBadThreshold(u)
+	}
+	q.stats.ThresholdQuotes++
+	if len(group) == 0 {
+		return Quote{}, nil
+	}
+	pay := value * math.Exp(-u)
+	// pr(v', W) per Definition 4.1, on the configured evaluation path.
+	noneAccepts := 1.0
+	p := 0.0
+	if pay > 0 {
+		for _, h := range group {
+			noneAccepts *= 1 - q.prob(h, pay)
+			q.stats.ProbEvals++
+			if noneAccepts == 0 {
+				break
+			}
+		}
+		p = 1 - noneAccepts
+	}
+	return Quote{Payment: pay, AcceptProb: p, ExpectedRev: (value - pay) * p}, nil
+}
+
+// errBadValue and errBadThreshold match the error texts of the original
+// package-level entry points, which the quoter methods now back.
+func errBadValue(v float64) error {
+	return fmt.Errorf("pricing: request value %v must be positive and finite", v)
+}
+
+func errBadThreshold(u float64) error {
+	return fmt.Errorf("pricing: threshold draw u = %v outside (0,1]", u)
+}
+
+// scratchPool backs the legacy package-level entry points
+// (MonteCarlo.MinOuterPayment, MaxExpectedRevenue, ThresholdQuote), which
+// predate the explicit-Scratch API and so borrow one per call.
+var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}

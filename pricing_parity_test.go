@@ -1,0 +1,98 @@
+package crossmatch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestTableVPricingPathParity is the benchmark-parity guard of the
+// pricing redesign: on the Table V workload (RDC10+RYC10 at the bench
+// scale), every algorithm's revenue must be bit-identical whether the
+// quoter runs the precomputed CDF-table path (the default) or the exact
+// scan path (WithPricingTables(false)). Run under -race it also
+// exercises the scratch/table plumbing for data races.
+func TestTableVPricingPathParity(t *testing.T) {
+	stream, err := GenerateCity("RDC10+RYC10", benchTableScale, benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{TOTA, DemCOM, RamCOM} {
+		run := func(tables bool) float64 {
+			res, err := SimulateContext(context.Background(), stream, alg,
+				WithSeed(benchSeed), WithPricingTables(tables))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.TotalRevenue()
+		}
+		tab, scan := run(true), run(false)
+		if math.Float64bits(tab) != math.Float64bits(scan) {
+			t.Errorf("%s: revenue diverges between pricing paths: tables %v vs scan %v", alg, tab, scan)
+		}
+	}
+}
+
+// TestPricingStatsExported checks the run-level pricing counters surface
+// through the public Metrics collector.
+func TestPricingStatsExported(t *testing.T) {
+	stream, err := GenerateSynthetic(400, 100, 1.0, "real", benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	if _, err := SimulateContext(context.Background(), stream, DemCOM,
+		WithSeed(benchSeed), WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	var p PricingStats = m.Snapshot().Pricing
+	if p.MonteCarloQuotes == 0 {
+		t.Error("DemCOM run recorded no Monte-Carlo quotes")
+	}
+	if p.ProbEvals == 0 {
+		t.Error("no acceptance-probability evaluations recorded")
+	}
+	if p.TableHitRate <= 0 || p.TableHitRate > 1 {
+		t.Errorf("TableHitRate = %v, want in (0,1]", p.TableHitRate)
+	}
+	if p.ScratchReuses == 0 {
+		t.Error("no scratch reuses recorded — per-call allocation is back")
+	}
+	if p.ScratchAllocs != 0 {
+		t.Errorf("ScratchAllocs = %d, want 0 (matchers own their scratch)", p.ScratchAllocs)
+	}
+}
+
+// TestBadOptionsRejected pins the typed-error contract of the option
+// validation: out-of-range options fail fast with ErrBadOption instead
+// of being silently clamped.
+func TestBadOptionsRejected(t *testing.T) {
+	stream, err := GenerateSynthetic(10, 5, 1.0, "real", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"trace sample above 1", WithTraceSample(1.5)},
+		{"negative service ticks", WithServiceTicks(-1)},
+		{"negative probe deadline", WithProbeDeadline(-time.Second)},
+	}
+	for _, c := range cases {
+		if _, err := SimulateContext(context.Background(), stream, TOTA, WithSeed(1), c.opt); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: error = %v, want ErrBadOption", c.name, err)
+		}
+		if _, err := NewEngine([]PlatformID{1}, TOTA, 10, c.opt); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s via NewEngine: error = %v, want ErrBadOption", c.name, err)
+		}
+	}
+	// A negative trace sample is documented semantics (tracing disabled
+	// for the run), not an error.
+	if _, err := SimulateContext(context.Background(), stream, TOTA,
+		WithSeed(1), WithTracer(NewTracer(TraceOptions{})), WithTraceSample(-1)); err != nil {
+		t.Errorf("negative trace sample rejected: %v", err)
+	}
+}
