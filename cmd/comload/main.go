@@ -88,8 +88,8 @@ func loadStream(o options) (*core.Stream, error) {
 // report is the JSON document comload writes: the client-side load
 // report plus the benchfmt rendering of its headline metrics.
 type report struct {
-	Label string           `json:"label,omitempty"`
-	URL   string           `json:"url"`
+	Label string            `json:"label,omitempty"`
+	URL   string            `json:"url"`
 	Load  *serve.LoadReport `json:"load"`
 }
 
@@ -112,8 +112,8 @@ func run(w io.Writer, o options) error {
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"comload: %d events in %.0fms (%.0f ev/s): %d ok, %d shed (rate %.3f), %d dropped, %d failed; matched %d, revenue %.1f; p50 %.2fms p90 %.2fms p99 %.2fms\n",
-		rep.Events, rep.WallMs, rep.QPS, rep.OK, rep.Shed, rep.ShedRate, rep.Dropped, rep.Failed,
+		"comload: %d events in %.0fms (%.0f ev/s): %d ok, %d resumed, %d shed (rate %.3f), %d dropped, %d failed; matched %d, revenue %.1f; p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		rep.Events, rep.WallMs, rep.QPS, rep.OK, rep.Resumed, rep.Shed, rep.ShedRate, rep.Dropped, rep.Failed,
 		rep.Matched, rep.Revenue, rep.P50Ms, rep.P90Ms, rep.P99Ms)
 
 	out := w

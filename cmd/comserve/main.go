@@ -17,6 +17,7 @@
 //	comserve -alg DemCOM -addr :8080 -rate 500 -queue 256
 //	comserve -alg RamCOM -maxvalue 60 -deadline 2s
 //	comserve -replay stream.csv -alg DemCOM -seed 42   # deterministic replay
+//	comserve -wal-dir /var/lib/comserve -fsync-batch 32  # durable: restart recovers
 package main
 
 import (
@@ -61,6 +62,9 @@ type options struct {
 	traceCap     int
 	traceSample  float64
 	portFile     string
+	walDir       string
+	fsyncBatch   int
+	snapEvery    int
 }
 
 func main() {
@@ -83,6 +87,9 @@ func main() {
 	flag.IntVar(&o.traceCap, "trace-cap", 4096, "span ring capacity per platform")
 	flag.Float64Var(&o.traceSample, "trace-sample", 1, "fraction of requests traced, in (0,1]")
 	flag.StringVar(&o.portFile, "port-file", "", "write the bound host:port here once listening (for scripts racing startup)")
+	flag.StringVar(&o.walDir, "wal-dir", "", "write-ahead log directory: events are durable before they are applied, and a restart on the same directory recovers the exact pre-crash state")
+	flag.IntVar(&o.fsyncBatch, "fsync-batch", 1, "fsync the WAL every N appends (1 = every event; larger batches trade the last <N events for throughput)")
+	flag.IntVar(&o.snapEvery, "snapshot-every", 1000, "write a recovery checkpoint every N applied events (0 = only on shutdown)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -116,16 +123,19 @@ func parsePlatforms(spec string) ([]core.PlatformID, error) {
 
 func buildOptions(o options) (serve.Options, error) {
 	opts := serve.Options{
-		Algorithm:    o.alg,
-		Seed:         o.seed,
-		MaxValue:     o.maxValue,
-		QueueCap:     o.queueCap,
-		Rate:         o.rate,
-		Burst:        o.burst,
-		Deadline:     o.deadline,
-		ProcessDelay: o.procDelay,
-		ServiceTicks: core.Time(o.serviceTicks),
-		DisableCoop:  o.noCoop,
+		Algorithm:     o.alg,
+		Seed:          o.seed,
+		MaxValue:      o.maxValue,
+		QueueCap:      o.queueCap,
+		Rate:          o.rate,
+		Burst:         o.burst,
+		Deadline:      o.deadline,
+		ProcessDelay:  o.procDelay,
+		ServiceTicks:  core.Time(o.serviceTicks),
+		DisableCoop:   o.noCoop,
+		WALDir:        o.walDir,
+		FsyncBatch:    o.fsyncBatch,
+		SnapshotEvery: o.snapEvery,
 	}
 	if o.replay != "" {
 		f, err := os.Open(o.replay)
@@ -185,6 +195,14 @@ func run(w io.Writer, o options) error {
 		mode = fmt.Sprintf("replay (%d events)", opts.Replay.Len())
 	}
 	fmt.Fprintf(w, "comserve: %s, alg %s, seed %d, listening on %s\n", mode, o.alg, o.seed, bound)
+	if o.walDir != "" {
+		if rec := srv.Recovery(); rec.Recovered {
+			fmt.Fprintf(w, "comserve: recovered %d events from %s (%d segments, snapshot @%d, clock %dms) in %.1fms\n",
+				rec.Events, o.walDir, rec.Segments, rec.SnapshotApplied, rec.VLast, rec.DurationMs)
+		} else {
+			fmt.Fprintf(w, "comserve: wal %s is empty, starting fresh\n", o.walDir)
+		}
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

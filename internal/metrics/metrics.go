@@ -46,6 +46,17 @@ type Collector struct {
 	breakerClosed       atomic.Int64
 	breakerShortCircuit atomic.Int64
 
+	// Durability counters (internal/wal): write-ahead log appends and
+	// fsyncs, snapshot manifests written, and crash-recovery re-drives.
+	// All stay zero when the serving layer runs without -wal-dir.
+	walAppends         atomic.Int64
+	walBytes           atomic.Int64
+	walFsyncs          atomic.Int64
+	walFsyncNs         atomic.Int64
+	walSnapshots       atomic.Int64
+	walRecoveries      atomic.Int64
+	walRecoveredEvents atomic.Int64
+
 	// Pricing-quoter counters (internal/pricing Quoter stats), folded in
 	// by the platform runtime when a run's matchers wind down.
 	pricingRevenueQuotes    atomic.Int64
@@ -246,6 +257,38 @@ func (c *Collector) BreakerShortCircuit() {
 	}
 }
 
+// WALAppend records one write-ahead log append of n payload bytes.
+func (c *Collector) WALAppend(n int64) {
+	if c != nil {
+		c.walAppends.Add(1)
+		c.walBytes.Add(n)
+	}
+}
+
+// WALFsync records one write-ahead log fsync and its duration.
+func (c *Collector) WALFsync(d time.Duration) {
+	if c != nil {
+		c.walFsyncs.Add(1)
+		c.walFsyncNs.Add(d.Nanoseconds())
+	}
+}
+
+// WALSnapshot records one snapshot manifest written.
+func (c *Collector) WALSnapshot() {
+	if c != nil {
+		c.walSnapshots.Add(1)
+	}
+}
+
+// WALRecovered records one crash recovery that re-drove n logged
+// events through a fresh engine.
+func (c *Collector) WALRecovered(n int64) {
+	if c != nil {
+		c.walRecoveries.Add(1)
+		c.walRecoveredEvents.Add(n)
+	}
+}
+
 // LockWaitLabel is the latency label under which hub lock-wait
 // observations are reported (see ObserveLockWait).
 const LockWaitLabel = "hub/lock-wait"
@@ -322,6 +365,16 @@ type Counters struct {
 	BreakerHalfOpened    int64 `json:"breaker_half_opened"`
 	BreakerClosed        int64 `json:"breaker_closed"`
 	BreakerShortCircuits int64 `json:"breaker_short_circuits"`
+	// Durability counters (all zero without a write-ahead log): appends
+	// and payload bytes logged, fsyncs with their cumulative duration,
+	// snapshot manifests written, and crash-recovery re-drives.
+	WALAppends         int64 `json:"wal_appends"`
+	WALBytes           int64 `json:"wal_bytes"`
+	WALFsyncs          int64 `json:"wal_fsyncs"`
+	WALFsyncNs         int64 `json:"wal_fsync_ns"`
+	WALSnapshots       int64 `json:"wal_snapshots"`
+	WALRecoveries      int64 `json:"wal_recoveries"`
+	WALRecoveredEvents int64 `json:"wal_recovered_events"`
 }
 
 // LatencySummary is one label's latency distribution in a Report.
@@ -370,6 +423,14 @@ func (c *Collector) Snapshot() Report {
 		BreakerHalfOpened:    c.breakerHalfOpened.Load(),
 		BreakerClosed:        c.breakerClosed.Load(),
 		BreakerShortCircuits: c.breakerShortCircuit.Load(),
+
+		WALAppends:         c.walAppends.Load(),
+		WALBytes:           c.walBytes.Load(),
+		WALFsyncs:          c.walFsyncs.Load(),
+		WALFsyncNs:         c.walFsyncNs.Load(),
+		WALSnapshots:       c.walSnapshots.Load(),
+		WALRecoveries:      c.walRecoveries.Load(),
+		WALRecoveredEvents: c.walRecoveredEvents.Load(),
 	}, Pricing: c.Pricing()}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()

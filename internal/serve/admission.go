@@ -54,6 +54,14 @@ func (b *tokenBucket) take() (bool, time.Duration) {
 	return false, wait
 }
 
+// A shed response carries its backoff hint twice, with a defined
+// precedence: the body field retry_after_ms (retryAfterMs) is
+// authoritative — millisecond precision, what comload sleeps on —
+// while the Retry-After header (retryAfterSeconds) is the coarse
+// fallback for plain HTTP clients, the same hint rounded up to whole
+// seconds so header-driven clients never back off shorter than
+// body-driven ones.
+
 // retryAfterMs clamps a retry hint into [1ms, 30s] for the wire.
 func retryAfterMs(d time.Duration) int64 {
 	ms := d.Milliseconds()

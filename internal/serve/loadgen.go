@@ -47,24 +47,25 @@ type LoadOptions struct {
 // outcomes, decision totals and end-to-end call latency quantiles, in
 // the shape EXPERIMENTS.md tables and benchfmt snapshots consume.
 type LoadReport struct {
-	Events    int     `json:"events"`
-	Calls     int64   `json:"calls"`
-	OK        int64   `json:"ok"`
-	Shed      int64   `json:"shed"`
-	Retried   int64   `json:"retried"`
-	Dropped   int64   `json:"dropped"` // shed and out of retries
-	Failed    int64   `json:"failed"`  // transport or non-shed errors
-	Requests  int64   `json:"requests"`
-	Matched   int64   `json:"matched"`
-	Revenue   float64 `json:"revenue"`
-	P50Ms     float64 `json:"p50_ms"`
-	P90Ms     float64 `json:"p90_ms"`
-	P99Ms     float64 `json:"p99_ms"`
-	MaxMs     float64 `json:"max_ms"`
-	MeanMs    float64 `json:"mean_ms"`
-	WallMs    float64 `json:"wall_ms"`
-	QPS       float64 `json:"qps"` // achieved event throughput
-	ShedRate  float64 `json:"shed_rate"`
+	Events   int     `json:"events"`
+	Calls    int64   `json:"calls"`
+	OK       int64   `json:"ok"`
+	Shed     int64   `json:"shed"`
+	Retried  int64   `json:"retried"`
+	Dropped  int64   `json:"dropped"` // shed and out of retries
+	Failed   int64   `json:"failed"`  // transport or non-shed errors
+	Resumed  int64   `json:"resumed"` // duplicate: already applied before a restart
+	Requests int64   `json:"requests"`
+	Matched  int64   `json:"matched"`
+	Revenue  float64 `json:"revenue"`
+	P50Ms    float64 `json:"p50_ms"`
+	P90Ms    float64 `json:"p90_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxMs    float64 `json:"max_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	WallMs   float64 `json:"wall_ms"`
+	QPS      float64 `json:"qps"` // achieved event throughput
+	ShedRate float64 `json:"shed_rate"`
 }
 
 // Bench renders the report as a one-benchmark benchfmt document, so
@@ -241,6 +242,11 @@ func accountLines(rep *LoadReport, job batchJob, outs []WireDecision) []batchJob
 					evs: []WireEvent{job.evs[i]},
 					due: time.Now().Add(time.Duration(out.RetryAfterMs) * time.Millisecond)})
 			}
+		case StatusDuplicate:
+			// The event was already applied — normal when re-pushing a
+			// stream after a server restart recovered it from the WAL.
+			// Counting it failed would make every resumed run look broken.
+			rep.Resumed++
 		default:
 			rep.Failed++
 		}

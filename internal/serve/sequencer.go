@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/platform"
 )
 
 // sequence is the server's single engine-driving goroutine: it owns
@@ -27,7 +28,8 @@ import (
 func (s *Server) sequence() {
 	defer close(s.seqDone)
 	pending := make(map[int]*ingest)
-	cursor := 0
+	// s.cursor starts at 0, or past the recovered prefix when a WAL
+	// re-drive ran before this goroutine started.
 	for it := range s.queue {
 		if s.draining.Load() {
 			// Admitted before the drain flag flipped, but no longer worth
@@ -43,14 +45,14 @@ func (s *Server) sequence() {
 			s.process(it)
 			continue
 		}
-		if it.seq != cursor {
+		if it.seq != s.cursor {
 			pending[it.seq] = it
 			continue
 		}
 		s.process(it)
-		cursor++
-		for next, ok := pending[cursor]; ok; next, ok = pending[cursor] {
-			delete(pending, cursor)
+		s.cursor++
+		for next, ok := pending[s.cursor]; ok; next, ok = pending[s.cursor] {
+			delete(pending, s.cursor)
 			if s.draining.Load() {
 				s.ctr.drained.Add(1)
 				next.done <- WireDecision{Status: StatusDraining, Kind: kindName(next.ev.Kind),
@@ -58,7 +60,7 @@ func (s *Server) sequence() {
 			} else {
 				s.process(next)
 			}
-			cursor++
+			s.cursor++
 		}
 	}
 	// Queue closed with replay holes: answer the stranded waiters.
@@ -70,10 +72,14 @@ func (s *Server) sequence() {
 }
 
 // stamp writes the live virtual clock onto an event: milliseconds
-// since server start, clamped non-decreasing so wall-clock jitter can
-// never violate the engine's time-order contract.
+// since server start plus the resumed base, clamped non-decreasing so
+// wall-clock jitter can never violate the engine's time-order
+// contract. The base matters across restarts: a recovered (or
+// ResumeVTime'd) server must never stamp an arrival before its
+// restored high-water mark, or the engine would reject it with
+// ErrTimeRegression.
 func (s *Server) stamp(ev *core.Event) {
-	vt := time.Since(s.started).Milliseconds()
+	vt := s.vbase + time.Since(s.started).Milliseconds()
 	if vt < s.vlast {
 		vt = s.vlast
 	}
@@ -87,28 +93,52 @@ func (s *Server) stamp(ev *core.Event) {
 	}
 }
 
-// process feeds one event to the engine and answers its waiter. The
-// done channel is buffered, so a handler that already gave up on its
-// deadline never blocks the sequencer.
+// process feeds one event through the WAL (when durability is on) and
+// the engine, then answers its waiter. The done channel is buffered,
+// so a handler that already gave up on its deadline never blocks the
+// sequencer.
 func (s *Server) process(it *ingest) {
 	if s.opts.ProcessDelay > 0 {
 		time.Sleep(s.opts.ProcessDelay)
 	}
-	d, err := s.eng.Process(it.ev)
+	if s.wal != nil {
+		// Write-ahead: the engine must not see an event the log cannot
+		// reproduce. A failed append answers 500 without mutating state.
+		if err := s.logEvent(it.ev, it.seq); err != nil {
+			s.ctr.walErrors.Add(1)
+			it.done <- WireDecision{Status: StatusError, Kind: kindName(it.ev.Kind),
+				ID: eventID(it.ev), VTime: int64(it.ev.Time), Error: "wal append: " + err.Error()}
+			return
+		}
+	}
+	d, err := s.apply(it.ev)
 	if err != nil {
-		s.ctr.engineErrors.Add(1)
 		it.done <- WireDecision{Status: StatusError, Kind: kindName(it.ev.Kind),
 			ID: eventID(it.ev), VTime: int64(it.ev.Time), Error: err.Error()}
 		return
 	}
-	if it.ev.Kind == core.RequestArrival {
+	it.done <- decisionLine(it.ev.Kind, eventID(it.ev), int64(it.ev.Time), d)
+	s.maybeSnapshot()
+}
+
+// apply feeds one event to the engine and books the decision counters.
+// Both the live sequencer and the startup recovery re-drive go through
+// it, so a recovered server's counters continue the pre-crash sequence
+// exactly.
+func (s *Server) apply(ev core.Event) (platform.RequestDecision, error) {
+	d, err := s.eng.Process(ev)
+	if err != nil {
+		s.ctr.engineErrors.Add(1)
+		return d, err
+	}
+	if ev.Kind == core.RequestArrival {
 		s.ctr.served.Add(1)
 		if d.Served {
 			s.ctr.matched.Add(1)
 			s.ctr.addRevenue(d.Revenue)
 		}
 	}
-	it.done <- decisionLine(it.ev.Kind, eventID(it.ev), int64(it.ev.Time), d)
+	return d, nil
 }
 
 func eventID(ev core.Event) int64 {

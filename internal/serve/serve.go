@@ -40,6 +40,7 @@ import (
 	"crossmatch/internal/metrics"
 	"crossmatch/internal/platform"
 	"crossmatch/internal/trace"
+	"crossmatch/internal/wal"
 )
 
 // liveIDBase is where server-assigned IDs start in live mode, far from
@@ -93,6 +94,28 @@ type Options struct {
 	// export at /v1/trace as JSONL. TraceSample as in platform.Config.
 	Tracer      *trace.Tracer
 	TraceSample float64
+
+	// WALDir, when non-empty, turns on durability: every admitted event
+	// is appended to a write-ahead log in this directory before the
+	// engine sees it, checkpoint manifests are written alongside, and a
+	// restart with the same directory recovers the exact pre-crash state
+	// by re-driving the log (see internal/wal). Empty keeps the
+	// zero-durability hot path byte-for-byte unchanged.
+	WALDir string
+	// FsyncBatch fsyncs the log every N appends (<1 → every append).
+	// Larger batches trade the durability of the last <N events for
+	// sustained throughput.
+	FsyncBatch int
+	// SnapshotEvery writes a checkpoint manifest every N applied events;
+	// 0 disables periodic checkpoints (one is still written on Close).
+	SnapshotEvery int
+	// SegmentBytes caps one log segment (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// ResumeVTime starts the live virtual clock at this tick (ms)
+	// instead of zero, so a restarted server never stamps an arrival
+	// before recovered engine state. Recovery raises it further to the
+	// logged high-water mark.
+	ResumeVTime int64
 }
 
 type eventKey struct {
@@ -125,12 +148,23 @@ type Server struct {
 	draining atomic.Bool
 	seqDone  chan struct{}
 	started  time.Time
+	vbase    int64 // virtual-clock origin: 0, or the resumed high-water mark
 	vlast    int64 // sequencer-owned virtual clock high-water mark
 
 	// replay state
 	replayIdx map[eventKey]int
 	replayEvs []core.Event
 	delivered []atomic.Bool
+	cursor    int // sequencer-owned recorded-order cursor (replay mode)
+
+	// durability (nil wal == zero-durability path, bit-identical to the
+	// pre-WAL server)
+	wal          *wal.Log
+	walBuf       []byte // reused event-encode buffer; sequencer goroutine only
+	applied      int64  // WAL records appended + recovered; sequencer-owned
+	recycleBase  int64
+	rec          RecoveryInfo
+	snapsWritten atomic.Int64
 
 	// live ID allocation
 	nextReqID    atomic.Int64
@@ -146,19 +180,20 @@ type Server struct {
 // counters are the server-side (pre-engine) accounting exposed at
 // /v1/metrics: admission outcomes and decision totals.
 type counters struct {
-	accepted      atomic.Int64 // events admitted to the queue
-	requestsSeen  atomic.Int64
-	workersSeen   atomic.Int64
-	served        atomic.Int64 // request decisions returned
-	matched       atomic.Int64 // ... of which assigned a worker
-	shedRate      atomic.Int64 // 429: token bucket empty
-	shedQueue     atomic.Int64 // 429: ingest queue full
-	drained       atomic.Int64 // 503: rejected during drain
-	deadlineMiss  atomic.Int64 // 504: handler gave up waiting
-	badEvents     atomic.Int64 // malformed / unknown / duplicate
-	engineErrors  atomic.Int64
-	revenueMu     sync.Mutex
-	revenue       float64
+	accepted     atomic.Int64 // events admitted to the queue
+	requestsSeen atomic.Int64
+	workersSeen  atomic.Int64
+	served       atomic.Int64 // request decisions returned
+	matched      atomic.Int64 // ... of which assigned a worker
+	shedRate     atomic.Int64 // 429: token bucket empty
+	shedQueue    atomic.Int64 // 429: ingest queue full
+	drained      atomic.Int64 // 503: rejected during drain
+	deadlineMiss atomic.Int64 // 504: handler gave up waiting
+	badEvents    atomic.Int64 // malformed / unknown / duplicate
+	engineErrors atomic.Int64
+	walErrors    atomic.Int64 // append/snapshot failures (event NOT applied)
+	revenueMu    sync.Mutex
+	revenue      float64
 }
 
 func (c *counters) addRevenue(v float64) {
@@ -225,6 +260,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s.nextReqID.Store(liveIDBase)
 	s.nextWorkerID.Store(liveIDBase)
+	if opts.ResumeVTime > 0 {
+		s.vbase, s.vlast = opts.ResumeVTime, opts.ResumeVTime
+	}
 
 	if opts.Replay != nil {
 		evs := opts.Replay.Events()
@@ -247,6 +285,13 @@ func New(opts Options) (*Server, error) {
 		// space for bit-parity with the offline run.
 		if err := eng.SetRecycleBase(maxWorker); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.recycleBase = maxWorker
+	}
+
+	if opts.WALDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
 		}
 	}
 
@@ -297,6 +342,17 @@ func (s *Server) Close() (*platform.Result, error) {
 	s.BeginDrain()
 	<-s.seqDone
 	s.closeOnce.Do(func() {
+		// The sequencer has stopped, so its WAL state is safe to touch:
+		// write the final checkpoint and release the log before finishing
+		// the engine.
+		if s.wal != nil {
+			if err := s.writeSnapshot(); err != nil {
+				s.ctr.walErrors.Add(1)
+			}
+			if err := s.wal.Close(); err != nil {
+				s.ctr.walErrors.Add(1)
+			}
+		}
 		s.result, s.closeErr = s.eng.Finish()
 	})
 	return s.result, s.closeErr
@@ -332,25 +388,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, kind core.
 		items[i], outs[i] = s.admit(kind, line)
 	}
 
-	// Collection pass: wait for the admitted decisions under the
-	// per-request deadline.
-	deadline := time.NewTimer(s.opts.Deadline)
-	defer deadline.Stop()
-	for i, it := range items {
-		if it == nil {
-			continue
-		}
-		select {
-		case outs[i] = <-it.done:
-		case <-deadline.C:
-			s.ctr.deadlineMiss.Add(1)
-			outs[i] = WireDecision{Status: StatusDeadline, Kind: kindName(kind),
-				Error: "decision did not return within the deadline; the event is still sequenced"}
-			// Later lines share the expired timer: drain what is ready,
-			// mark the rest without blocking.
-			deadline.Reset(0)
-		}
-	}
+	// Collection pass: wait for the admitted decisions under one shared
+	// batch deadline.
+	s.collectDecisions(items, outs)
 
 	if !batch {
 		out := outs[0]
@@ -366,6 +406,49 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, kind core.
 		bw.writeLine(&outs[i])
 	}
 	bw.flush()
+}
+
+// collectDecisions waits for each admitted item's decision under one
+// shared batch deadline. A decision that is already buffered must win
+// over an expired timer: both channels being ready makes Go's select
+// pick pseudo-randomly, which used to misreport computed decisions as
+// 504s for roughly half the lines after the first miss (the old code
+// kept the fired timer "ready" via Reset(0)). The loop therefore polls
+// it.done non-blockingly first, tracks expiry in a plain bool instead
+// of a hot timer, and after expiry gives every remaining item one last
+// non-blocking chance before declaring a miss. Missed or not, the
+// event stays in the sequencer's order.
+func (s *Server) collectDecisions(items []*ingest, outs []WireDecision) {
+	deadline := time.NewTimer(s.opts.Deadline)
+	defer deadline.Stop()
+	expired := false
+	for i, it := range items {
+		if it == nil {
+			continue
+		}
+		select {
+		case outs[i] = <-it.done:
+			continue
+		default:
+		}
+		if !expired {
+			select {
+			case outs[i] = <-it.done:
+				continue
+			case <-deadline.C:
+				expired = true
+			}
+		}
+		// Deadline passed while this item was pending: final poll, then
+		// a miss.
+		select {
+		case outs[i] = <-it.done:
+		default:
+			s.ctr.deadlineMiss.Add(1)
+			outs[i] = WireDecision{Status: StatusDeadline, Kind: kindName(it.ev.Kind), ID: eventID(it.ev),
+				Error: "decision did not return within the deadline; the event is still sequenced"}
+		}
+	}
 }
 
 // admit runs one line through admission control. It returns the queued
@@ -466,31 +549,35 @@ func (s *Server) assignID(ev core.Event) {
 
 // ServerCounters is the server-side section of the /v1/metrics payload.
 type ServerCounters struct {
-	UptimeMs      int64 `json:"uptime_ms"`
-	Replay        bool  `json:"replay"`
-	Draining      bool  `json:"draining"`
-	QueueLen      int   `json:"queue_len"`
-	QueueCap      int   `json:"queue_cap"`
-	Accepted      int64 `json:"accepted"`
-	RequestsSeen  int64 `json:"requests_seen"`
-	WorkersSeen   int64 `json:"workers_seen"`
-	Served        int64 `json:"served"`
-	Matched       int64 `json:"matched"`
-	ShedRateLimit int64 `json:"shed_rate_limit"`
-	ShedQueueFull int64 `json:"shed_queue_full"`
-	Drained       int64 `json:"drained"`
-	DeadlineMiss  int64 `json:"deadline_miss"`
-	BadEvents     int64 `json:"bad_events"`
-	EngineErrors  int64 `json:"engine_errors"`
+	UptimeMs      int64   `json:"uptime_ms"`
+	Replay        bool    `json:"replay"`
+	Draining      bool    `json:"draining"`
+	QueueLen      int     `json:"queue_len"`
+	QueueCap      int     `json:"queue_cap"`
+	Accepted      int64   `json:"accepted"`
+	RequestsSeen  int64   `json:"requests_seen"`
+	WorkersSeen   int64   `json:"workers_seen"`
+	Served        int64   `json:"served"`
+	Matched       int64   `json:"matched"`
+	ShedRateLimit int64   `json:"shed_rate_limit"`
+	ShedQueueFull int64   `json:"shed_queue_full"`
+	Drained       int64   `json:"drained"`
+	DeadlineMiss  int64   `json:"deadline_miss"`
+	BadEvents     int64   `json:"bad_events"`
+	EngineErrors  int64   `json:"engine_errors"`
+	WALErrors     int64   `json:"wal_errors,omitempty"`
 	Revenue       float64 `json:"revenue"`
 }
 
 // MetricsSnapshot is the /v1/metrics document: admission and decision
 // accounting plus the engine collector's matching-funnel counters and
-// latency distributions.
+// latency distributions. WAL is present only on durable servers; its
+// live append/fsync counters ride in the engine section
+// (wal_appends, wal_fsyncs, wal_fsync_ns, ...).
 type MetricsSnapshot struct {
 	Server ServerCounters `json:"server"`
 	Engine metrics.Report `json:"engine"`
+	WAL    *WALStatus     `json:"wal,omitempty"`
 }
 
 // Snapshot returns the current metrics document.
@@ -498,7 +585,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 	s.ctr.revenueMu.Lock()
 	rev := s.ctr.revenue
 	s.ctr.revenueMu.Unlock()
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Server: ServerCounters{
 			UptimeMs:      time.Since(s.started).Milliseconds(),
 			Replay:        s.replayIdx != nil,
@@ -516,10 +603,21 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			DeadlineMiss:  s.ctr.deadlineMiss.Load(),
 			BadEvents:     s.ctr.badEvents.Load(),
 			EngineErrors:  s.ctr.engineErrors.Load(),
+			WALErrors:     s.ctr.walErrors.Load(),
 			Revenue:       rev,
 		},
 		Engine: s.met.Snapshot(),
 	}
+	if s.wal != nil {
+		snap.WAL = &WALStatus{
+			Dir:              s.opts.WALDir,
+			FsyncBatch:       s.opts.FsyncBatch,
+			SnapshotEvery:    s.opts.SnapshotEvery,
+			SnapshotsWritten: s.snapsWritten.Load(),
+			Recovery:         s.rec,
+		}
+	}
+	return snap
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -106,11 +106,11 @@ func TestBadInputRejected(t *testing.T) {
 	for name, tc := range map[string]struct {
 		url, body string
 	}{
-		"malformed json":  {"/v1/requests", `{"id":`},
-		"unknown field":   {"/v1/requests", `{"id":1,"value":1,"bogus":2}`},
-		"zero value":      {"/v1/requests", `{"id":1,"x":0.1,"y":0.1,"platform":1}`},
-		"zero radius":     {"/v1/workers", `{"id":1,"x":0.1,"y":0.1,"platform":1}`},
-		"empty body":      {"/v1/requests", ``},
+		"malformed json": {"/v1/requests", `{"id":`},
+		"unknown field":  {"/v1/requests", `{"id":1,"value":1,"bogus":2}`},
+		"zero value":     {"/v1/requests", `{"id":1,"x":0.1,"y":0.1,"platform":1}`},
+		"zero radius":    {"/v1/workers", `{"id":1,"x":0.1,"y":0.1,"platform":1}`},
+		"empty body":     {"/v1/requests", ``},
 	} {
 		resp, d := postJSON(t, client, ts.URL+tc.url, tc.body)
 		if resp.StatusCode != http.StatusBadRequest || d.Status != StatusError {

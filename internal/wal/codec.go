@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+)
+
+// Event record layout (little-endian, fixed width — floats stored as
+// IEEE-754 bit patterns so a decoded event is bit-identical to the
+// encoded one, which the replay-parity guarantee depends on):
+//
+//	[1B kind][8B seq][8B time][8B id][4B platform][8B x][8B y]
+//	worker:  [8B radius][4B histLen][histLen × 8B history]
+//	request: [8B value]
+//
+// seq is the replay re-sequencer's recorded-order index, -1 for live
+// events.
+
+// AppendEvent encodes one event into buf (reusing its capacity) and
+// returns the extended slice — the sequencer's alloc-free append path.
+func AppendEvent(buf []byte, ev core.Event, seq int64) ([]byte, error) {
+	buf = append(buf, byte(ev.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(seq))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Time))
+	switch ev.Kind {
+	case core.WorkerArrival:
+		w := ev.Worker
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w.Platform))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.Loc.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.Loc.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(w.Radius))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.History)))
+		for _, h := range w.History {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h))
+		}
+	case core.RequestArrival:
+		r := ev.Request
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Platform))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Loc.X))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Loc.Y))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(r.Value))
+	default:
+		return nil, fmt.Errorf("wal: unknown event kind %d", ev.Kind)
+	}
+	return buf, nil
+}
+
+// eventFixed is the byte count shared by both kinds before the
+// kind-specific fields: kind + seq + time + id + platform + x + y.
+const eventFixed = 1 + 8 + 8 + 8 + 4 + 8 + 8
+
+// DecodeEvent decodes one record payload back into a domain event and
+// its replay sequence index.
+func DecodeEvent(p []byte) (core.Event, int64, error) {
+	if len(p) < eventFixed {
+		return core.Event{}, 0, fmt.Errorf("wal: event record of %d bytes is too short", len(p))
+	}
+	kind := core.EventKind(p[0])
+	seq := int64(binary.LittleEndian.Uint64(p[1:9]))
+	t := core.Time(binary.LittleEndian.Uint64(p[9:17]))
+	id := int64(binary.LittleEndian.Uint64(p[17:25]))
+	pid := core.PlatformID(binary.LittleEndian.Uint32(p[25:29]))
+	loc := geo.Point{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(p[29:37])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(p[37:45])),
+	}
+	rest := p[eventFixed:]
+	switch kind {
+	case core.WorkerArrival:
+		if len(rest) < 12 {
+			return core.Event{}, 0, fmt.Errorf("wal: worker record truncated")
+		}
+		radius := math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8]))
+		n := int(binary.LittleEndian.Uint32(rest[8:12]))
+		rest = rest[12:]
+		if len(rest) != n*8 {
+			return core.Event{}, 0, fmt.Errorf("wal: worker history: have %d bytes, want %d", len(rest), n*8)
+		}
+		var hist []float64
+		if n > 0 {
+			hist = make([]float64, n)
+			for i := range hist {
+				hist[i] = math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:]))
+			}
+		}
+		w := &core.Worker{ID: id, Arrival: t, Loc: loc, Radius: radius, Platform: pid, History: hist}
+		return core.Event{Time: t, Kind: kind, Worker: w}, seq, nil
+	case core.RequestArrival:
+		if len(rest) != 8 {
+			return core.Event{}, 0, fmt.Errorf("wal: request record: have %d trailing bytes, want 8", len(rest))
+		}
+		value := math.Float64frombits(binary.LittleEndian.Uint64(rest[0:8]))
+		r := &core.Request{ID: id, Arrival: t, Loc: loc, Value: value, Platform: pid}
+		return core.Event{Time: t, Kind: kind, Request: r}, seq, nil
+	default:
+		return core.Event{}, 0, fmt.Errorf("wal: unknown event kind %d", kind)
+	}
+}

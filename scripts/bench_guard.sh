@@ -1,45 +1,52 @@
 #!/bin/sh
 # bench-guard: fail when the hot path's allocation count regresses.
 #
-# Runs BenchmarkTableV with -benchmem and compares allocs/op against the
-# committed baseline in BENCH_PR6.json; more than 10% above the baseline
-# fails the build. Allocation counts are deterministic enough for a
-# threshold (unlike ns/op, which the shared CI machines make useless),
-# which is exactly why the pricing/eligibility redesign is guarded by
-# allocs and not wall time.
+# Runs the guarded benchmarks with -benchmem and compares allocs/op
+# against the committed baseline in BENCH_PR6.json; more than 10% above
+# the baseline fails the build. Allocation counts are deterministic
+# enough for a threshold (unlike ns/op, which the shared CI machines
+# make useless), which is exactly why the pricing/eligibility redesign
+# and the serving sequencer are guarded by allocs and not wall time.
+#
+# BENCHES overrides the guarded set, e.g. BENCHES="TableV" for one.
 set -e
 
 cd "$(dirname "$0")/.."
 
 BASELINE=${BASELINE:-BENCH_PR6.json}
-BENCH=${BENCH:-TableV}
+BENCHES=${BENCHES:-"TableV TableVI"}
 
 if [ ! -f "$BASELINE" ]; then
     echo "bench-guard: baseline $BASELINE missing" >&2
     exit 1
 fi
 
-out=$(go test -run '^$' -bench "Benchmark${BENCH}\$" -benchmem -benchtime 1x .)
-echo "$out"
+status=0
+for BENCH in $BENCHES; do
+    out=$(go test -run '^$' -bench "Benchmark${BENCH}\$" -benchmem -benchtime 1x .)
+    echo "$out"
 
-cur=$(echo "$out" | awk -v b="Benchmark${BENCH}" '$1 ~ "^"b {
-    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
-}')
-base=$(awk -v name="\"${BENCH}\"" '
-    $1 == "\"name\":" && $2 == name"," { found = 1 }
-    found && $1 == "\"allocs_per_op\":" { gsub(/[^0-9]/, "", $2); print $2; exit }
-' "$BASELINE")
+    cur=$(echo "$out" | awk -v b="Benchmark${BENCH}" '$1 ~ "^"b {
+        for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+    }')
+    base=$(awk -v name="\"${BENCH}\"" '
+        $1 == "\"name\":" && $2 == name"," { found = 1 }
+        found && $1 == "\"allocs_per_op\":" { gsub(/[^0-9]/, "", $2); print $2; exit }
+    ' "$BASELINE")
 
-if [ -z "$cur" ] || [ -z "$base" ]; then
-    echo "bench-guard: could not parse allocs/op (current='$cur' baseline='$base')" >&2
-    exit 1
-fi
-
-awk -v c="$cur" -v b="$base" 'BEGIN {
-    limit = b * 1.10
-    if (c > limit) {
-        printf "bench-guard: FAIL: %s allocs/op %d exceeds baseline %d by more than 10%% (limit %.0f)\n", "'"$BENCH"'", c, b, limit
+    if [ -z "$cur" ] || [ -z "$base" ]; then
+        echo "bench-guard: could not parse allocs/op for $BENCH (current='$cur' baseline='$base')" >&2
         exit 1
-    }
-    printf "bench-guard: OK: %s allocs/op %d within 10%% of baseline %d\n", "'"$BENCH"'", c, b
-}'
+    fi
+
+    awk -v c="$cur" -v b="$base" -v n="$BENCH" 'BEGIN {
+        limit = b * 1.10
+        if (c > limit) {
+            printf "bench-guard: FAIL: %s allocs/op %d exceeds baseline %d by more than 10%% (limit %.0f)\n", n, c, b, limit
+            exit 1
+        }
+        printf "bench-guard: OK: %s allocs/op %d within 10%% of baseline %d\n", n, c, b
+    }' || status=1
+done
+
+exit $status

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Serving smoke: boot comserve on a random port in replay mode, push
 # the recorded stream through comload, assert a non-empty match count
-# and a clean drain on SIGTERM. This is the CI end-to-end check for the
-# live matching service (see README "Serving").
+# and a clean drain on SIGTERM. Then the chaos phase: the same replay
+# with a write-ahead log, SIGKILL mid-stream, restart on the same log
+# directory, re-push, and assert the final drain summary is identical
+# to the uninterrupted run — crash recovery is bit-exact. This is the
+# CI end-to-end check for the live matching service (see README
+# "Serving").
 # Usage: scripts/serve_smoke.sh  (or `make serve-smoke`)
 set -eu
 
@@ -10,6 +14,36 @@ cd "$(dirname "$0")/.."
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+# wait_port portfile pid logfile: block until comserve writes its port.
+wait_port() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "comserve never wrote its port file" >&2
+            cat "$3" >&2
+            kill "$2" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# wait_dead pid logfile: block until the process exits.
+wait_dead() {
+    i=0
+    while kill -0 "$1" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "comserve did not exit" >&2
+            cat "$2" >&2
+            kill -9 "$1" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
 
 echo "==> build"
 go build -o "$tmp/comserve" ./cmd/comserve
@@ -21,18 +55,7 @@ echo "==> boot comserve (replay mode, random port)"
     -replay "$tmp/stream.csv" -port-file "$tmp/port.txt" \
     > "$tmp/comserve.log" 2>&1 &
 srv=$!
-
-i=0
-while [ ! -s "$tmp/port.txt" ]; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "comserve never wrote its port file" >&2
-        cat "$tmp/comserve.log" >&2
-        kill "$srv" 2>/dev/null || true
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_port "$tmp/port.txt" "$srv" "$tmp/comserve.log"
 addr="$(cat "$tmp/port.txt")"
 echo "    listening on $addr"
 
@@ -43,22 +66,68 @@ echo "==> push the workload through comload"
 
 echo "==> drain on SIGTERM"
 kill -TERM "$srv"
-i=0
-while kill -0 "$srv" 2>/dev/null; do
-    i=$((i + 1))
-    if [ "$i" -gt 100 ]; then
-        echo "comserve did not exit after SIGTERM" >&2
-        cat "$tmp/comserve.log" >&2
-        kill -9 "$srv" 2>/dev/null || true
-        exit 1
-    fi
-    sleep 0.1
-done
+wait_dead "$srv" "$tmp/comserve.log"
 
 cat "$tmp/comserve.log"
 grep -q "matched" "$tmp/comserve.log" || {
     echo "comserve summary missing" >&2
     exit 1
 }
+oracle="$(grep "comserve: matched" "$tmp/comserve.log")"
+
+echo "==> chaos: replay with a WAL, SIGKILL mid-stream"
+"$tmp/comserve" -addr 127.0.0.1:0 -alg DemCOM -seed 42 \
+    -replay "$tmp/stream.csv" -port-file "$tmp/port2.txt" \
+    -wal-dir "$tmp/wal" -fsync-batch 8 -snapshot-every 100 \
+    > "$tmp/comserve2.log" 2>&1 &
+srv2=$!
+wait_port "$tmp/port2.txt" "$srv2" "$tmp/comserve2.log"
+addr2="$(cat "$tmp/port2.txt")"
+echo "    listening on $addr2 (wal: $tmp/wal)"
+
+# Throttled push in the background so the kill lands mid-stream; this
+# client dies with its server, which is expected.
+"$tmp/comload" -url "http://$addr2" -in "$tmp/stream.csv" \
+    -conns 4 -batch 8 -retries 50 -qps 400 \
+    > /dev/null 2>&1 &
+load=$!
+sleep 0.7
+kill -9 "$srv2"
+wait_dead "$srv2" "$tmp/comserve2.log"
+wait "$load" 2>/dev/null || true
+echo "    killed comserve mid-stream"
+
+echo "==> restart on the same WAL and resume the push"
+"$tmp/comserve" -addr 127.0.0.1:0 -alg DemCOM -seed 42 \
+    -replay "$tmp/stream.csv" -port-file "$tmp/port3.txt" \
+    -wal-dir "$tmp/wal" -fsync-batch 8 -snapshot-every 100 \
+    > "$tmp/comserve3.log" 2>&1 &
+srv3=$!
+wait_port "$tmp/port3.txt" "$srv3" "$tmp/comserve3.log"
+addr3="$(cat "$tmp/port3.txt")"
+grep -q "comserve: recovered" "$tmp/comserve3.log" || {
+    echo "restart did not recover from the WAL" >&2
+    cat "$tmp/comserve3.log" >&2
+    exit 1
+}
+echo "    $(grep 'comserve: recovered' "$tmp/comserve3.log")"
+
+# Re-push the whole stream: recovered events dedupe as "resumed", the
+# rest apply. Zero failures required.
+"$tmp/comload" -url "http://$addr3" -in "$tmp/stream.csv" \
+    -conns 8 -batch 16 -retries 50 -label chaos -out "$tmp/load2.json"
+
+kill -TERM "$srv3"
+wait_dead "$srv3" "$tmp/comserve3.log"
+cat "$tmp/comserve3.log"
+
+recovered="$(grep "comserve: matched" "$tmp/comserve3.log")"
+if [ "$recovered" != "$oracle" ]; then
+    echo "chaos: recovered summary differs from the uninterrupted run" >&2
+    echo "    clean:     $oracle" >&2
+    echo "    recovered: $recovered" >&2
+    exit 1
+fi
+echo "    recovery is bit-exact: $recovered"
 
 echo "==> OK"
