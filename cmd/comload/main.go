@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"crossmatch/internal/core"
@@ -39,6 +40,8 @@ type options struct {
 	batch      int
 	timeout    time.Duration
 	retries    int
+	unavailRet int
+	coalesce   bool
 	label      string
 	out        string
 	minMatched int64
@@ -58,6 +61,8 @@ func main() {
 	flag.IntVar(&o.batch, "batch", 1, "events per NDJSON POST (consecutive same-kind arrivals)")
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-call HTTP timeout")
 	flag.IntVar(&o.retries, "retries", 0, "retries per shed event, sleeping the server's retry hint (replay servers need this)")
+	flag.IntVar(&o.unavailRet, "unavail-retries", 0, "separate retry budget per 503-class event (draining/recovering/dark shard); fleet chaos runs need this to ride out a shard's WAL recovery")
+	flag.BoolVar(&o.coalesce, "coalesce", false, "fill batches with same-kind events across kind interleavings (per-kind order kept; use against replay/idempotent servers)")
 	flag.StringVar(&o.label, "label", "", "stamp the report with this label (benchfmt document)")
 	flag.StringVar(&o.out, "out", "", "write the JSON report here instead of stdout")
 	flag.Int64Var(&o.minMatched, "min-matched", -1, "exit non-zero unless at least this many requests matched (CI smoke assertion; -1 disables)")
@@ -85,6 +90,15 @@ func loadStream(o options) (*core.Stream, error) {
 	return workload.Generate(cfg, o.seed)
 }
 
+func sortedShardNames(m map[string]*serve.ShardLoad) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // report is the JSON document comload writes: the client-side load
 // report plus the benchfmt rendering of its headline metrics.
 type report struct {
@@ -99,22 +113,30 @@ func run(w io.Writer, o options) error {
 		return err
 	}
 	rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
-		URL:     o.url,
-		Stream:  stream,
-		QPS:     o.qps,
-		Conns:   o.conns,
-		Batch:   o.batch,
-		Timeout: o.timeout,
-		Retries: o.retries,
+		URL:            o.url,
+		Stream:         stream,
+		QPS:            o.qps,
+		Conns:          o.conns,
+		Batch:          o.batch,
+		Timeout:        o.timeout,
+		Retries:        o.retries,
+		UnavailRetries: o.unavailRet,
+		Coalesce:       o.coalesce,
 	})
 	if err != nil {
 		return err
 	}
 
 	fmt.Fprintf(os.Stderr,
-		"comload: %d events in %.0fms (%.0f ev/s): %d ok, %d resumed, %d shed (rate %.3f), %d dropped, %d failed; matched %d, revenue %.1f; p50 %.2fms p90 %.2fms p99 %.2fms\n",
-		rep.Events, rep.WallMs, rep.QPS, rep.OK, rep.Resumed, rep.Shed, rep.ShedRate, rep.Dropped, rep.Failed,
+		"comload: %d events in %.0fms (%.0f ev/s): %d ok, %d resumed, %d shed (rate %.3f), %d unavailable, %d dropped, %d failed; matched %d, revenue %.1f; p50 %.2fms p90 %.2fms p99 %.2fms\n",
+		rep.Events, rep.WallMs, rep.QPS, rep.OK, rep.Resumed, rep.Shed, rep.ShedRate, rep.Unavailable, rep.Dropped, rep.Failed,
 		rep.Matched, rep.Revenue, rep.P50Ms, rep.P90Ms, rep.P99Ms)
+	for _, name := range sortedShardNames(rep.Shards) {
+		sl := rep.Shards[name]
+		fmt.Fprintf(os.Stderr,
+			"comload: shard %s: %d ok, %d shed, %d unavailable, %d resumed; matched %d, revenue %.1f; p50 %.2fms p99 %.2fms\n",
+			name, sl.OK, sl.Shed, sl.Unavailable, sl.Resumed, sl.Matched, sl.Revenue, sl.P50Ms, sl.P99Ms)
+	}
 
 	out := w
 	if o.out != "" {

@@ -74,6 +74,14 @@ func (b *Breaker) State() State {
 	return b.state
 }
 
+// Stats returns the current state together with the consecutive-failure
+// run — what a fleet router's status page shows per shard.
+func (b *Breaker) Stats() (State, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.consecutive
+}
+
 // Allow reports whether a call to the guarded platform may proceed at
 // stream time now. An open breaker past its cooldown moves to half-open
 // and admits exactly one trial call; concurrent callers are refused

@@ -49,11 +49,21 @@ func NewGrid(cellSize float64) *Grid {
 	}
 }
 
-func (g *Grid) key(p geo.Point) cellKey {
-	return cellKey{
-		cx: int32(math.Floor(p.X / g.cell)),
-		cy: int32(math.Floor(p.Y / g.cell)),
+// CellOf returns the grid cell coordinates of p for a given cell edge
+// length — the one spatial-partition geometry shared by the matching
+// grid and the fleet router (internal/route), so routing a stream by
+// cell keeps each shard's local supply density intact. Non-positive or
+// non-finite sizes fall back to DefaultCell, exactly as NewGrid does.
+func CellOf(p geo.Point, cellSize float64) (cx, cy int32) {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		cellSize = DefaultCell
 	}
+	return int32(math.Floor(p.X / cellSize)), int32(math.Floor(p.Y / cellSize))
+}
+
+func (g *Grid) key(p geo.Point) cellKey {
+	cx, cy := CellOf(p, g.cell)
+	return cellKey{cx: cx, cy: cy}
 }
 
 // Insert implements Index.

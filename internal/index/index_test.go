@@ -338,11 +338,11 @@ func TestGridSearchRadiusExact(t *testing.T) {
 		remove int64
 		want   float64
 	}{
-		{0, 5},  // initial: max of {5,2,1,2}
-		{1, 2},  // drop the 5: max of {2,1,2}
-		{2, 2},  // drop one 2: the other keeps the max
-		{4, 1},  // drop the last 2
-		{3, 0},  // empty
+		{0, 5}, // initial: max of {5,2,1,2}
+		{1, 2}, // drop the 5: max of {2,1,2}
+		{2, 2}, // drop one 2: the other keeps the max
+		{4, 1}, // drop the last 2
+		{3, 0}, // empty
 	}
 	for _, s := range steps {
 		if s.remove != 0 && !g.Remove(s.remove) {

@@ -57,6 +57,15 @@ type Collector struct {
 	walRecoveries      atomic.Int64
 	walRecoveredEvents atomic.Int64
 
+	// Fleet-router counters (internal/route): lines forwarded to shards,
+	// transport-level retries, hedged duplicate sends, and lines served
+	// by a failover shard instead of their rendezvous owner. All stay
+	// zero outside cmd/comroute.
+	routeForwards  atomic.Int64
+	routeRetries   atomic.Int64
+	routeHedges    atomic.Int64
+	routeFailovers atomic.Int64
+
 	// Pricing-quoter counters (internal/pricing Quoter stats), folded in
 	// by the platform runtime when a run's matchers wind down.
 	pricingRevenueQuotes    atomic.Int64
@@ -289,6 +298,35 @@ func (c *Collector) WALRecovered(n int64) {
 	}
 }
 
+// RouteForward records n event lines forwarded to a shard.
+func (c *Collector) RouteForward(n int64) {
+	if c != nil {
+		c.routeForwards.Add(n)
+	}
+}
+
+// RouteRetry records one transport-level retry of a shard call.
+func (c *Collector) RouteRetry() {
+	if c != nil {
+		c.routeRetries.Add(1)
+	}
+}
+
+// RouteHedge records one hedged duplicate send racing a slow shard call.
+func (c *Collector) RouteHedge() {
+	if c != nil {
+		c.routeHedges.Add(1)
+	}
+}
+
+// RouteFailover records n lines routed to a failover shard because
+// their rendezvous owner was unhealthy.
+func (c *Collector) RouteFailover(n int64) {
+	if c != nil {
+		c.routeFailovers.Add(n)
+	}
+}
+
 // LockWaitLabel is the latency label under which hub lock-wait
 // observations are reported (see ObserveLockWait).
 const LockWaitLabel = "hub/lock-wait"
@@ -375,6 +413,13 @@ type Counters struct {
 	WALSnapshots       int64 `json:"wal_snapshots"`
 	WALRecoveries      int64 `json:"wal_recoveries"`
 	WALRecoveredEvents int64 `json:"wal_recovered_events"`
+	// Fleet-router counters (all zero outside cmd/comroute): lines
+	// forwarded to shards, transport retries, hedged duplicate sends,
+	// and failover-routed lines.
+	RouteForwards  int64 `json:"route_forwards"`
+	RouteRetries   int64 `json:"route_retries"`
+	RouteHedges    int64 `json:"route_hedges"`
+	RouteFailovers int64 `json:"route_failovers"`
 }
 
 // LatencySummary is one label's latency distribution in a Report.
@@ -431,6 +476,11 @@ func (c *Collector) Snapshot() Report {
 		WALSnapshots:       c.walSnapshots.Load(),
 		WALRecoveries:      c.walRecoveries.Load(),
 		WALRecoveredEvents: c.walRecoveredEvents.Load(),
+
+		RouteForwards:  c.routeForwards.Load(),
+		RouteRetries:   c.routeRetries.Load(),
+		RouteHedges:    c.routeHedges.Load(),
+		RouteFailovers: c.routeFailovers.Load(),
 	}, Pricing: c.Pricing()}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()

@@ -112,7 +112,7 @@ type breakpoint struct {
 // not be copied or shared between goroutines; matchers keep one for the
 // lifetime of a run. The zero value is not usable — call NewScratch.
 type Scratch struct {
-	group []*History  // candidate-group buffer for matchers (Group)
+	group []*History // candidate-group buffer for matchers (Group)
 	bps   []breakpoint
 	cur   []float64
 	seeds [mcShards]int64

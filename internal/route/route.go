@@ -1,0 +1,164 @@
+// Package route is the fleet layer of the serving stack: a thin HTTP
+// router that fronts N comserve shards, partitioning arrival events by
+// consistent spatial hashing on the matching grid's cell geometry
+// (internal/index.CellOf — the same partition key the geo-sharded
+// engine uses), so each shard owns a stable set of cells and its local
+// supply density — what governs match quality in dynamic spatial
+// matching — survives the split.
+//
+// The robustness core: per-shard health probes against the
+// liveness/readiness-split /healthz (a shard re-driving its WAL is
+// live but not ready and receives no traffic), per-shard circuit
+// breakers on the internal/fault state machine (connection failures
+// open the breaker; an open breaker short-circuits calls into fast
+// 503s instead of stalling behind a dead shard), transport retries
+// with capped-jittered backoff, optional hedged duplicate sends for
+// calls whose deadline budget allows a second attempt, and explicit
+// backpressure: shard 429/503 lines pass through verbatim with their
+// retry_after_ms, the router's own refusals carry hints, and nothing
+// is ever queued router-side — an overloaded router answers 503.
+//
+// Ownership is strict by default: an event whose owner shard is dark
+// is refused with a retry hint rather than routed to another shard,
+// which is what keeps a fleet replay bit-identical to an uninterrupted
+// run (every event lands on exactly the shard whose recorded
+// sub-stream contains it). Failover mode relaxes this for live fleets
+// that prefer availability over per-shard determinism: lines fall to
+// the next shard in their cell's rendezvous order.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+	"crossmatch/internal/index"
+)
+
+// CellKey identifies one spatial-hash cell, the unit of shard
+// ownership.
+type CellKey struct {
+	CX, CY int32
+}
+
+// Cell returns the owning cell of a point under the shared grid
+// geometry (index.CellOf).
+func Cell(p geo.Point, cellSize float64) CellKey {
+	cx, cy := index.CellOf(p, cellSize)
+	return CellKey{CX: cx, CY: cy}
+}
+
+// weight is the rendezvous (highest-random-weight) score of a shard
+// for a cell: a 64-bit FNV-1a hash over the cell coordinates and the
+// shard name, passed through a murmur-style avalanche finalizer. The
+// finalizer matters: raw FNV-1a mixes the final input byte weakly, and
+// shard names that differ only in their last character ("s1".."s4" —
+// the natural naming) would make the rendezvous winner correlate with
+// a couple of hash bits, skewing ownership badly (one shard can end up
+// with half the cells). Everything here is fixed arithmetic, stable
+// across processes and platforms — the splitter↔router agreement
+// depends on that; speed is irrelevant at one hash per shard per event.
+func weight(c CellKey, shardName string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, v := range []int32{c.CX, c.CY} {
+		u := uint32(v)
+		mix(byte(u))
+		mix(byte(u >> 8))
+		mix(byte(u >> 16))
+		mix(byte(u >> 24))
+	}
+	mix(0xfe) // domain separator between coordinates and name
+	for i := 0; i < len(shardName); i++ {
+		mix(shardName[i])
+	}
+	// fmix64 avalanche (MurmurHash3 finalizer constants).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Rank returns the shard names in descending rendezvous-weight order
+// for a cell: Rank(...)[0] is the owner, the rest the failover
+// preference chain. Adding or removing one shard moves only the cells
+// that hashed to it — the consistent-hashing property that keeps a
+// resize from reshuffling the whole fleet.
+func Rank(c CellKey, shardNames []string) []string {
+	out := append([]string(nil), shardNames...)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi, wj := weight(c, out[i]), weight(c, out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j] // total order even under hash ties
+	})
+	return out
+}
+
+// Owner returns the rendezvous owner of a cell.
+func Owner(c CellKey, shardNames []string) string {
+	if len(shardNames) == 0 {
+		return ""
+	}
+	best := shardNames[0]
+	bw := weight(c, best)
+	for _, name := range shardNames[1:] {
+		if w := weight(c, name); w > bw || (w == bw && name < best) {
+			best, bw = name, w
+		}
+	}
+	return best
+}
+
+// eventLoc returns the location that determines an event's cell.
+func eventLoc(ev core.Event) geo.Point {
+	if ev.Kind == core.WorkerArrival {
+		return ev.Worker.Loc
+	}
+	return ev.Request.Loc
+}
+
+// SplitStream partitions a recorded stream into per-shard sub-streams
+// by cell ownership — the offline twin of the router's per-line
+// dispatch, guaranteed to agree with it because both call Owner on the
+// same geometry. Each shard's sub-stream preserves the global arrival
+// order, so serving it in replay mode reproduces exactly the events
+// the router will hand that shard.
+func SplitStream(s *core.Stream, shardNames []string, cellSize float64) (map[string]*core.Stream, error) {
+	if len(shardNames) == 0 {
+		return nil, fmt.Errorf("route: split needs at least one shard name")
+	}
+	seen := make(map[string]bool, len(shardNames))
+	for _, n := range shardNames {
+		if n == "" {
+			return nil, fmt.Errorf("route: empty shard name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("route: duplicate shard name %q", n)
+		}
+		seen[n] = true
+	}
+	parts := make(map[string][]core.Event, len(shardNames))
+	for _, ev := range s.Events() {
+		owner := Owner(Cell(eventLoc(ev), cellSize), shardNames)
+		parts[owner] = append(parts[owner], ev)
+	}
+	out := make(map[string]*core.Stream, len(shardNames))
+	for _, name := range shardNames {
+		sub, err := core.NewStream(parts[name])
+		if err != nil {
+			return nil, fmt.Errorf("route: shard %s sub-stream: %w", name, err)
+		}
+		out[name] = sub
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+)
+
+func TestRankOwnerAgreement(t *testing.T) {
+	names := []string{"s1", "s2", "s3", "s4"}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		c := CellKey{CX: int32(rng.Intn(200) - 100), CY: int32(rng.Intn(200) - 100)}
+		rank := Rank(c, names)
+		if len(rank) != len(names) {
+			t.Fatalf("Rank returned %d names, want %d", len(rank), len(names))
+		}
+		if rank[0] != Owner(c, names) {
+			t.Fatalf("cell %v: Rank[0]=%s, Owner=%s", c, rank[0], Owner(c, names))
+		}
+		seen := map[string]bool{}
+		for _, n := range rank {
+			if seen[n] {
+				t.Fatalf("cell %v: duplicate %s in rank %v", c, n, rank)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRendezvousStability is the consistent-hashing property: removing
+// one shard moves only the cells it owned — every other cell keeps its
+// owner.
+func TestRendezvousStability(t *testing.T) {
+	names := []string{"s1", "s2", "s3", "s4"}
+	without := []string{"s1", "s3", "s4"} // s2 removed
+	moved, kept := 0, 0
+	for cx := int32(-50); cx < 50; cx++ {
+		for cy := int32(-50); cy < 50; cy++ {
+			c := CellKey{CX: cx, CY: cy}
+			before := Owner(c, names)
+			after := Owner(c, without)
+			if before == "s2" {
+				moved++
+				continue
+			}
+			if after != before {
+				t.Fatalf("cell %v moved %s -> %s though s2 was not its owner", c, before, after)
+			}
+			kept++
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate partition: %d moved, %d kept", moved, kept)
+	}
+}
+
+// TestOwnerBalance sanity-checks the hash spread: with 4 shards no
+// shard should own a wildly skewed share of a 100x100 cell block.
+func TestOwnerBalance(t *testing.T) {
+	names := []string{"s1", "s2", "s3", "s4"}
+	counts := map[string]int{}
+	total := 0
+	for cx := int32(0); cx < 100; cx++ {
+		for cy := int32(0); cy < 100; cy++ {
+			counts[Owner(CellKey{CX: cx, CY: cy}, names)]++
+			total++
+		}
+	}
+	for name, n := range counts {
+		share := float64(n) / float64(total)
+		if share < 0.15 || share > 0.35 {
+			t.Fatalf("shard %s owns %.1f%% of cells (counts %v)", name, 100*share, counts)
+		}
+	}
+}
+
+func testStream(t *testing.T, n int) *core.Stream {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	events := make([]core.Event, 0, n)
+	for i := 0; i < n; i++ {
+		tm := core.Time(i)
+		loc := geo.Point{X: rng.Float64()*20 - 10, Y: rng.Float64()*20 - 10}
+		if i%2 == 0 {
+			events = append(events, core.Event{Time: tm, Kind: core.WorkerArrival,
+				Worker: &core.Worker{ID: int64(i + 1), Arrival: tm, Loc: loc, Radius: 1, Platform: 1}})
+		} else {
+			events = append(events, core.Event{Time: tm, Kind: core.RequestArrival,
+				Request: &core.Request{ID: int64(i + 1), Arrival: tm, Loc: loc, Value: 10, Platform: 1}})
+		}
+	}
+	s, err := core.NewStream(events)
+	if err != nil {
+		t.Fatalf("NewStream: %v", err)
+	}
+	return s
+}
+
+// TestSplitStreamAgreesWithOwner is the splitter↔router contract:
+// every event lands in exactly the sub-stream of its cell's owner, and
+// nothing is lost or duplicated.
+func TestSplitStreamAgreesWithOwner(t *testing.T) {
+	names := []string{"s1", "s2", "s3"}
+	stream := testStream(t, 400)
+	parts, err := SplitStream(stream, names, 1.0)
+	if err != nil {
+		t.Fatalf("SplitStream: %v", err)
+	}
+	total := 0
+	for name, sub := range parts {
+		for _, ev := range sub.Events() {
+			owner := Owner(Cell(eventLoc(ev), 1.0), names)
+			if owner != name {
+				t.Fatalf("event %d in sub-stream %s, owner is %s", eventID(ev), name, owner)
+			}
+		}
+		total += sub.Len()
+	}
+	if total != stream.Len() {
+		t.Fatalf("split lost events: %d across shards, want %d", total, stream.Len())
+	}
+	// Per-shard order preserves the global arrival order.
+	for name, sub := range parts {
+		evs := sub.Events()
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				t.Fatalf("shard %s sub-stream out of order at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSplitStreamValidation(t *testing.T) {
+	stream := testStream(t, 10)
+	if _, err := SplitStream(stream, nil, 1.0); err == nil {
+		t.Fatal("SplitStream accepted zero shard names")
+	}
+	if _, err := SplitStream(stream, []string{"a", ""}, 1.0); err == nil {
+		t.Fatal("SplitStream accepted an empty shard name")
+	}
+	if _, err := SplitStream(stream, []string{"a", "a"}, 1.0); err == nil {
+		t.Fatal("SplitStream accepted duplicate shard names")
+	}
+}
+
+func eventID(ev core.Event) int64 {
+	if ev.Kind == core.WorkerArrival {
+		return ev.Worker.ID
+	}
+	return ev.Request.ID
+}
+
+// pointOwnedBy searches for a coordinate whose cell the named shard
+// owns — how the router tests steer lines at specific shards.
+func pointOwnedBy(t *testing.T, name string, names []string, cellSize float64) geo.Point {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		p := geo.Point{X: float64(i%100) + 0.5, Y: float64(i/100) + 0.5}
+		if Owner(Cell(p, cellSize), names) == name {
+			return p
+		}
+	}
+	t.Fatalf("no point owned by %s", name)
+	return geo.Point{}
+}
+
+func TestCellGeometry(t *testing.T) {
+	c1 := Cell(geo.Point{X: 1.2, Y: -0.3}, 1.0)
+	if c1.CX != 1 || c1.CY != -1 {
+		t.Fatalf("Cell(1.2,-0.3) = %v, want {1 -1}", c1)
+	}
+	// Zero cell size falls back to the default grid cell.
+	c2 := Cell(geo.Point{X: 1.2, Y: -0.3}, 0)
+	if c2 != c1 {
+		t.Fatalf("default cell size: %v != %v", c2, c1)
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	names := []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := CellKey{CX: int32(i % 512), CY: int32(i % 251)}
+		if Owner(c, names) == "" {
+			b.Fatal("empty owner")
+		}
+	}
+}

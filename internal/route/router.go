@@ -1,0 +1,888 @@
+package route
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/fault"
+	"crossmatch/internal/geo"
+	"crossmatch/internal/metrics"
+	"crossmatch/internal/serve"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Shards is the backing fleet; at least one. Names are the
+	// rendezvous-hash identities — keep them stable across restarts.
+	Shards []ShardConfig
+	// CellSize is the spatial-hash cell edge length in km (default
+	// index.DefaultCell via CellOf). It must match the geometry used to
+	// split replay streams.
+	CellSize float64
+	// ProbeInterval is the per-shard health-check period (default
+	// 100ms). ProbeTimeout bounds one probe (default 500ms).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Breaker tunes the per-shard circuit breakers (fault.Breaker).
+	// Router defaults are tighter than the engine-side ones: threshold
+	// 3, cooldown 750ms — a SIGKILLed shard must be routed around
+	// within the probe deadline, not after five failed requests.
+	Breaker fault.BreakerConfig
+	// Retry bounds transport-level retries per shard call: MaxAttempts
+	// tries with capped-jittered backoff (BaseBackoff/MaxBackoff).
+	// Defaults: 2 attempts, 5ms base, 100ms cap. Only transport
+	// failures retry — shard 429/503 lines are backpressure and pass
+	// through to the client untouched.
+	Retry fault.RetryPolicy
+	// Deadline is the end-to-end budget for one client call, covering
+	// retries, backoff and hedges (default 15s).
+	Deadline time.Duration
+	// CallTimeout bounds a single shard HTTP call (default 10s).
+	CallTimeout time.Duration
+	// HedgeAfter, when positive, races a duplicate send against a shard
+	// call that has not answered within this delay, if the remaining
+	// deadline budget allows it; first response wins. Only safe when
+	// duplicate delivery is idempotent — replay-mode shards dedupe by
+	// event ID, live-mode shards do not. Default 0 (disabled).
+	HedgeAfter time.Duration
+	// Failover routes a line to the next shard in its cell's rendezvous
+	// order when the owner is unhealthy. Default false: strict
+	// ownership, where a dark owner means a fast 503 with a retry hint
+	// — required for bit-exact fleet replay (an event must only ever be
+	// applied by the shard whose recorded sub-stream contains it).
+	Failover bool
+	// MaxInflight bounds concurrently forwarded client calls; excess
+	// answers 503 immediately (default 256). The router never queues.
+	MaxInflight int
+	// Metrics receives route_* counters and breaker transitions;
+	// created internally when nil.
+	Metrics *metrics.Collector
+	// Client overrides the shard HTTP client (tests inject one).
+	Client *http.Client
+}
+
+// routerCounters is the router-side accounting exposed at /v1/metrics.
+type routerCounters struct {
+	calls    atomic.Int64 // client HTTP calls forwarded (or refused)
+	lines    atomic.Int64 // event lines seen
+	badLines atomic.Int64 // lines the router could not parse
+	busy     atomic.Int64 // lines refused by the inflight bound
+	refused  atomic.Int64 // lines refused because no eligible shard
+}
+
+// Router is the fleet front: create with New, expose Handler, stop
+// with Close.
+type Router struct {
+	opts        Options
+	names       []string
+	shards      map[string]*shard
+	mux         *http.ServeMux
+	client      *http.Client
+	probeClient *http.Client
+	met         *metrics.Collector
+	started     time.Time
+	done        chan struct{}
+	wg          sync.WaitGroup
+	closeOnce   sync.Once
+	inflight    chan struct{}
+	ctr         routerCounters
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New validates the options, builds the shard table and starts one
+// health prober per shard.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("route: need at least one shard")
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 100 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 500 * time.Millisecond
+	}
+	if opts.Breaker.FailureThreshold < 1 {
+		opts.Breaker.FailureThreshold = 3
+	}
+	if opts.Breaker.CooldownTicks < 1 {
+		opts.Breaker.CooldownTicks = 750 // ms of router stream time
+	}
+	if opts.Retry.MaxAttempts < 1 {
+		opts.Retry.MaxAttempts = 2
+	}
+	if opts.Retry.BaseBackoff <= 0 {
+		opts.Retry.BaseBackoff = 5 * time.Millisecond
+	}
+	if opts.Retry.MaxBackoff <= 0 {
+		opts.Retry.MaxBackoff = 100 * time.Millisecond
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 15 * time.Second
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = 10 * time.Second
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 256
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.New()
+	}
+
+	r := &Router{
+		opts:     opts,
+		shards:   make(map[string]*shard, len(opts.Shards)),
+		met:      opts.Metrics,
+		started:  time.Now(),
+		done:     make(chan struct{}),
+		inflight: make(chan struct{}, opts.MaxInflight),
+		rng:      rand.New(rand.NewSource(1)), // backoff jitter only; no determinism contract
+	}
+	r.client = opts.Client
+	if r.client == nil {
+		// The default transport keeps only 2 idle connections per host;
+		// with every client call fanning out to the same handful of
+		// shards, that churns TCP connects and costs ~40% throughput.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 0 // no global cap
+		tr.MaxIdleConnsPerHost = 4 * opts.MaxInflight
+		r.client = &http.Client{Transport: tr}
+	}
+	r.probeClient = r.client
+	for _, sc := range opts.Shards {
+		if sc.Name == "" || sc.URL == "" {
+			return nil, fmt.Errorf("route: shard needs name and url, got %q=%q", sc.Name, sc.URL)
+		}
+		if _, dup := r.shards[sc.Name]; dup {
+			return nil, fmt.Errorf("route: duplicate shard name %q", sc.Name)
+		}
+		sh := &shard{name: sc.Name, url: strings.TrimRight(sc.URL, "/")}
+		met := r.met
+		sh.breaker = fault.NewBreaker(opts.Breaker, func(from, to fault.State) {
+			switch to {
+			case fault.Open:
+				met.BreakerOpened()
+			case fault.HalfOpen:
+				met.BreakerHalfOpened()
+			case fault.Closed:
+				met.BreakerClosed()
+			}
+		})
+		r.shards[sc.Name] = sh
+		r.names = append(r.names, sc.Name)
+	}
+
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("POST /v1/requests", func(w http.ResponseWriter, req *http.Request) {
+		r.handleForward(w, req, core.RequestArrival)
+	})
+	r.mux.HandleFunc("POST /v1/workers", func(w http.ResponseWriter, req *http.Request) {
+		r.handleForward(w, req, core.WorkerArrival)
+	})
+	r.mux.HandleFunc("GET /v1/metrics", r.handleMetrics)
+	r.mux.HandleFunc("GET /healthz", r.handleHealth)
+	r.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	r.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	r.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	r.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	for _, name := range r.names {
+		r.wg.Add(1)
+		go r.probeLoop(r.shards[name])
+	}
+	return r, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Close stops the health probers. Idempotent.
+func (r *Router) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// Shard returns the live status of one shard (tests and status pages).
+func (r *Router) Shard(name string) (ShardStatus, bool) {
+	sh, ok := r.shards[name]
+	if !ok {
+		return ShardStatus{}, false
+	}
+	return sh.status(), true
+}
+
+// maxBodyBytes mirrors the shard-side ingest bound.
+const maxBodyBytes = 32 << 20
+
+// wirePoint is the lenient per-line parse the router needs: only the
+// coordinates matter for partitioning; full validation is the shard's
+// job (strict parse, value/radius checks).
+type wirePoint struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// lineRoute is one line's dispatch decision.
+type lineRoute struct {
+	shard    *shard // nil: answered locally (bad line or refused)
+	failover bool
+}
+
+// handleForward is the router hot path: split the batch, pick each
+// line's shard by cell ownership gated on health, forward the per-shard
+// sub-batches concurrently, and reassemble the responses in input
+// order. Nothing queues: an ineligible owner answers its lines
+// immediately with a 503-class status and a retry hint.
+func (r *Router) handleForward(w http.ResponseWriter, req *http.Request, kind core.EventKind) {
+	r.ctr.calls.Add(1)
+	body, err := readAllHint(http.MaxBytesReader(w, req.Body, maxBodyBytes), req.ContentLength)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, serve.WireDecision{Status: serve.StatusError, Error: "reading body: " + err.Error()})
+		return
+	}
+	lines := splitLines(body)
+	if len(lines) == 0 {
+		writeJSON(w, http.StatusBadRequest, serve.WireDecision{Status: serve.StatusError, Error: "empty body"})
+		return
+	}
+	batch := len(lines) > 1 || strings.Contains(req.Header.Get("Content-Type"), "ndjson")
+	r.ctr.lines.Add(int64(len(lines)))
+
+	outs := make([][]byte, len(lines))
+	select {
+	case r.inflight <- struct{}{}:
+		defer func() { <-r.inflight }()
+	default:
+		// Backpressure, not queueing: every line answers unavailable with
+		// a hint, so well-behaved clients back off instead of piling on.
+		r.ctr.busy.Add(int64(len(lines)))
+		busy := encodeDecision(serve.WireDecision{Status: serve.StatusUnavailable, Kind: kindName(kind),
+			RetryAfterMs: r.retryHintMs(), Error: "router at max inflight"})
+		for i := range outs {
+			outs[i] = busy
+		}
+		r.reply(w, batch, outs)
+		return
+	}
+
+	routes := r.dispatch(kind, lines, outs)
+
+	// Group the forwardable lines per shard, preserving input order
+	// within each group (the shard sequences a batch FIFO).
+	groups := make(map[*shard][]int)
+	for i, lr := range routes {
+		if lr.shard != nil {
+			groups[lr.shard] = append(groups[lr.shard], i)
+		}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), r.opts.Deadline)
+	defer cancel()
+	if len(groups) == 1 { // the common case: no fan-out, no goroutine
+		for sh, idxs := range groups {
+			r.forwardGroup(ctx, sh, kind, lines, idxs, routes, outs)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for sh, idxs := range groups {
+			wg.Add(1)
+			go func(sh *shard, idxs []int) {
+				defer wg.Done()
+				r.forwardGroup(ctx, sh, kind, lines, idxs, routes, outs)
+			}(sh, idxs)
+		}
+		wg.Wait()
+	}
+	r.reply(w, batch, outs)
+}
+
+// dispatch picks each line's shard. Eligibility (ready + breaker
+// admission) is evaluated at most once per shard per client call, so a
+// half-open breaker's single trial is one forwarded sub-batch, not one
+// per line.
+func (r *Router) dispatch(kind core.EventKind, lines [][]byte, outs [][]byte) []lineRoute {
+	routes := make([]lineRoute, len(lines))
+	elig := make(map[*shard]bool, len(r.names))
+	allowed := func(sh *shard) bool {
+		ok, seen := elig[sh]
+		if !seen {
+			ok = sh.ready.Load() && sh.breaker.Allow(r.now())
+			elig[sh] = ok
+		}
+		return ok
+	}
+	for i, line := range lines {
+		x, y, ok := scanPoint(line)
+		if !ok {
+			var pt wirePoint
+			if err := json.Unmarshal(line, &pt); err != nil {
+				r.ctr.badLines.Add(1)
+				outs[i] = encodeDecision(serve.WireDecision{Status: serve.StatusError, Kind: kindName(kind),
+					Error: "bad event: " + err.Error()})
+				continue
+			}
+			x, y = pt.X, pt.Y
+		}
+		cell := Cell(geo.Point{X: x, Y: y}, r.opts.CellSize)
+		if !r.opts.Failover {
+			sh := r.shards[Owner(cell, r.names)]
+			if !allowed(sh) {
+				r.refuse(kind, sh, &outs[i])
+				continue
+			}
+			routes[i] = lineRoute{shard: sh}
+			continue
+		}
+		var chosen *shard
+		rank := Rank(cell, r.names)
+		for pos, name := range rank {
+			if sh := r.shards[name]; allowed(sh) {
+				chosen = sh
+				routes[i] = lineRoute{shard: sh, failover: pos > 0}
+				break
+			}
+		}
+		if chosen == nil {
+			r.refuse(kind, r.shards[rank[0]], &outs[i])
+		}
+	}
+	return routes
+}
+
+// refuse answers one line locally: its owner (and, in failover mode,
+// every fallback) is dark. The hint tells clients when the prober
+// could plausibly have re-admitted the shard.
+func (r *Router) refuse(kind core.EventKind, owner *shard, out *[]byte) {
+	r.ctr.refused.Add(1)
+	*out = encodeDecision(serve.WireDecision{Status: serve.StatusUnavailable, Kind: kindName(kind),
+		Shard: owner.name, RetryAfterMs: r.retryHintMs(),
+		Error: "shard " + owner.name + " unavailable"})
+}
+
+// retryHintMs is the router-originated backoff hint: a couple of probe
+// periods, floored at 100ms — roughly when a recovered shard would be
+// re-admitted.
+func (r *Router) retryHintMs() int64 {
+	hint := 2 * r.opts.ProbeInterval
+	if hint < 100*time.Millisecond {
+		hint = 100 * time.Millisecond
+	}
+	return hint.Milliseconds()
+}
+
+// forwardGroup posts one shard's sub-batch and scatters the per-line
+// decisions back into outs at their original indices. Transport
+// failures retry under the capped-jittered backoff policy within the
+// call deadline; a final failure answers every line unavailable. Shard
+// backpressure lines (shed/draining/recovering) pass through with
+// their own retry_after_ms.
+func (r *Router) forwardGroup(ctx context.Context, sh *shard, kind core.EventKind, lines [][]byte, idxs []int, routes []lineRoute, outs [][]byte) {
+	total := 0
+	for _, i := range idxs {
+		total += len(lines[i]) + 1
+	}
+	payload := make([]byte, 0, total)
+	for _, i := range idxs {
+		payload = append(payload, lines[i]...)
+		payload = append(payload, '\n')
+	}
+	n := int64(len(idxs))
+	sh.lines.Add(n)
+	r.met.RouteForward(n)
+
+	var decs [][]byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			r.met.RouteRetry()
+			sh.retries.Add(1)
+			wait := r.backoff(attempt - 1)
+			select {
+			case <-ctx.Done():
+				err = ctx.Err()
+			case <-time.After(wait):
+			}
+			if err == nil && !sh.breaker.Allow(r.now()) {
+				err = fmt.Errorf("shard %s: breaker open", sh.name)
+			}
+			if err != nil {
+				break
+			}
+		}
+		decs, err = r.callShard(ctx, sh, kind, payload)
+		if err == nil {
+			sh.breaker.Success()
+			break
+		}
+		sh.breaker.Failure(r.now())
+		if attempt+1 >= r.opts.Retry.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+	}
+	if err != nil {
+		sh.errors.Add(n)
+		failed := encodeDecision(serve.WireDecision{Status: serve.StatusUnavailable, Kind: kindName(kind),
+			Shard: sh.name, RetryAfterMs: r.retryHintMs(),
+			Error: "shard call failed: " + err.Error()})
+		for _, i := range idxs {
+			outs[i] = failed
+		}
+		return
+	}
+
+	// Shard lines pass through verbatim (plus the shard stamp): the
+	// router never re-encodes a decision it did not make, which keeps
+	// the hot path to one cheap status sniff per line. All stamped
+	// lines of the group share one arena: one allocation per call, not
+	// one per line (out-of-capacity growth just strands old bytes, the
+	// three-index sub-slices stay valid).
+	arenaCap := len(idxs) * (len(sh.name) + 16)
+	for _, d := range decs {
+		arenaCap += len(d)
+	}
+	arena := make([]byte, 0, arenaCap)
+	for k, i := range idxs {
+		var line []byte
+		if k < len(decs) {
+			start := len(arena)
+			arena = appendStamped(arena, decs[k], sh.name)
+			line = arena[start:len(arena):len(arena)]
+		} else {
+			line = encodeDecision(serve.WireDecision{Status: serve.StatusError, Kind: kindName(kind),
+				Shard: sh.name, Error: "shard returned short response"})
+		}
+		switch lineStatus(line) {
+		case serve.StatusOK, serve.StatusDuplicate:
+			sh.ok.Add(1)
+		case serve.StatusShed:
+			sh.shed.Add(1)
+		case serve.StatusDraining, serve.StatusRecovering, serve.StatusUnavailable:
+			sh.unavailable.Add(1)
+		}
+		if routes[i].failover {
+			sh.failovers.Add(1)
+			r.met.RouteFailover(1)
+		}
+		outs[i] = line
+	}
+}
+
+// backoff draws the jittered capped-exponential wait for a retry.
+func (r *Router) backoff(attempt int) time.Duration {
+	r.rngMu.Lock()
+	defer r.rngMu.Unlock()
+	return r.opts.Retry.Backoff(attempt, r.rng)
+}
+
+// callShard runs one shard POST, hedging a duplicate send when enabled
+// and the deadline budget allows. The shard always answers NDJSON
+// per-line decisions (the router forces batch semantics).
+func (r *Router) callShard(ctx context.Context, sh *shard, kind core.EventKind, payload []byte) ([][]byte, error) {
+	deadline, hasDeadline := ctx.Deadline()
+	budget := r.opts.CallTimeout
+	if hasDeadline {
+		if rem := time.Until(deadline); rem < budget {
+			budget = rem
+		}
+	}
+	if budget <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	hedge := r.opts.HedgeAfter
+	if hedge <= 0 || budget < 2*hedge {
+		cctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		return r.post(cctx, sh, kind, payload)
+	}
+
+	cctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	type result struct {
+		decs   [][]byte
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	launch := func(hedged bool) {
+		go func() {
+			decs, err := r.post(cctx, sh, kind, payload)
+			ch <- result{decs, err, hedged}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(hedge)
+	defer timer.Stop()
+	inFlight := 1
+	for {
+		select {
+		case res := <-ch:
+			inFlight--
+			if res.err == nil {
+				if res.hedged {
+					sh.hedgeWins.Add(1)
+				}
+				return res.decs, nil
+			}
+			if inFlight == 0 {
+				return nil, res.err
+			}
+			// One attempt failed; wait for the other.
+		case <-timer.C:
+			if inFlight == 1 {
+				sh.hedges.Add(1)
+				r.met.RouteHedge()
+				launch(true)
+				inFlight++
+			}
+		}
+	}
+}
+
+// post is one HTTP round trip to a shard ingest endpoint.
+func (r *Router) post(ctx context.Context, sh *shard, kind core.EventKind, payload []byte) ([][]byte, error) {
+	url := sh.url + "/v1/requests"
+	if kind == core.WorkerArrival {
+		url = sh.url + "/v1/workers"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := readAllHint(resp.Body, resp.ContentLength)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard %s: %s: %s", sh.name, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return splitLines(body), nil
+}
+
+// encodeDecision marshals a router-made decision once; every local
+// answer (bad line, refusal, busy, transport failure) goes through
+// here so the forwarding path never touches an encoder.
+func encodeDecision(d serve.WireDecision) []byte {
+	b, err := json.Marshal(d)
+	if err != nil {
+		// WireDecision is plain data; Marshal cannot fail on it.
+		return []byte(`{"status":"error","error":"encode failed"}`)
+	}
+	return b
+}
+
+// appendStamped appends the response line to dst with `"shard":"<name>"`
+// spliced in, without decoding it. Lines too short to be an object are
+// appended untouched.
+func appendStamped(dst, line []byte, name string) []byte {
+	if len(line) < 2 || line[len(line)-1] != '}' {
+		return append(dst, line...)
+	}
+	dst = append(dst, line[:len(line)-1]...)
+	if len(line) > 2 { // non-empty object needs a comma
+		dst = append(dst, ',')
+	}
+	dst = append(dst, `"shard":"`...)
+	dst = append(dst, name...)
+	return append(dst, '"', '}')
+}
+
+// scanPoint extracts the top-level "x" and "y" numbers from an event
+// line without a full decode — dispatch needs only the location, and
+// encoding/json on every line was the router's single largest CPU
+// cost. The scan is string- and escape-aware and tracks bracket depth,
+// so values that merely contain `"x":` cannot fool it; anything
+// structurally surprising returns ok=false and dispatch falls back to
+// the strict decoder. Missing coordinates default to 0, matching the
+// lenient wirePoint decode.
+func scanPoint(line []byte) (x, y float64, ok bool) {
+	i, n := 0, len(line)
+	skipWS := func() {
+		for i < n && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r' || line[i] == '\n') {
+			i++
+		}
+	}
+	// skipString advances past the string starting at line[i] == '"'.
+	skipString := func() bool {
+		for i++; i < n; i++ {
+			switch line[i] {
+			case '\\':
+				i++
+			case '"':
+				i++
+				return true
+			}
+		}
+		return false
+	}
+	skipValue := func() bool {
+		switch line[i] {
+		case '"':
+			return skipString()
+		case '{', '[':
+			depth := 0
+			for i < n {
+				switch line[i] {
+				case '"':
+					if !skipString() {
+						return false
+					}
+					continue
+				case '{', '[':
+					depth++
+				case '}', ']':
+					depth--
+					if depth == 0 {
+						i++
+						return true
+					}
+				}
+				i++
+			}
+			return false
+		default: // number, true, false, null
+			for i < n && line[i] != ',' && line[i] != '}' && line[i] != ']' &&
+				line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+			return true
+		}
+	}
+	skipWS()
+	if i >= n || line[i] != '{' {
+		return 0, 0, false
+	}
+	i++
+	skipWS()
+	if i < n && line[i] == '}' {
+		return 0, 0, true
+	}
+	for {
+		skipWS()
+		if i >= n || line[i] != '"' {
+			return 0, 0, false
+		}
+		keyStart := i + 1
+		if !skipString() {
+			return 0, 0, false
+		}
+		key := line[keyStart : i-1]
+		skipWS()
+		if i >= n || line[i] != ':' {
+			return 0, 0, false
+		}
+		i++
+		skipWS()
+		if i >= n {
+			return 0, 0, false
+		}
+		if len(key) == 1 && (key[0] == 'x' || key[0] == 'y') {
+			vs := i
+			for i < n && (line[i] == '-' || line[i] == '+' || line[i] == '.' ||
+				line[i] == 'e' || line[i] == 'E' || (line[i] >= '0' && line[i] <= '9')) {
+				i++
+			}
+			v, err := strconv.ParseFloat(string(line[vs:i]), 64)
+			if err != nil {
+				return 0, 0, false
+			}
+			if key[0] == 'x' {
+				x = v
+			} else {
+				y = v
+			}
+		} else if !skipValue() {
+			return 0, 0, false
+		}
+		skipWS()
+		if i >= n {
+			return 0, 0, false
+		}
+		switch line[i] {
+		case ',':
+			i++
+		case '}':
+			return x, y, true
+		default:
+			return 0, 0, false
+		}
+	}
+}
+
+// readAllHint reads rc to EOF, presizing from the declared content
+// length when one is known (io.ReadAll's grow-and-copy cycles show up
+// on the forward hot path).
+func readAllHint(rc io.Reader, hint int64) ([]byte, error) {
+	if hint > 0 && hint < maxBodyBytes {
+		buf := bytes.NewBuffer(make([]byte, 0, hint+1))
+		_, err := buf.ReadFrom(rc)
+		return buf.Bytes(), err
+	}
+	return io.ReadAll(rc)
+}
+
+var statusPrefix = []byte(`{"status":"`)
+
+// lineStatus reads a response line's status without a full decode.
+// The serve encoder always emits Status as the first field, so the
+// fast path is a prefix check; anything else falls back to Unmarshal.
+func lineStatus(line []byte) string {
+	if bytes.HasPrefix(line, statusPrefix) {
+		rest := line[len(statusPrefix):]
+		if end := bytes.IndexByte(rest, '"'); end >= 0 {
+			return string(rest[:end])
+		}
+	}
+	var d struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(line, &d); err != nil {
+		return ""
+	}
+	return d.Status
+}
+
+// reply writes the reassembled decisions: NDJSON for batches, the
+// shard-compatible status-coded single object otherwise. Shard lines
+// are written back verbatim.
+func (r *Router) reply(w http.ResponseWriter, batch bool, outs [][]byte) {
+	if !batch {
+		var out serve.WireDecision
+		if err := json.Unmarshal(outs[0], &out); err != nil {
+			out = serve.WireDecision{Status: serve.StatusError, Error: "bad shard response"}
+			outs[0] = encodeDecision(out)
+		}
+		if out.RetryAfterMs > 0 {
+			secs := (out.RetryAfterMs + 999) / 1000
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(serve.HTTPStatus(out.Status))
+		_, _ = w.Write(outs[0])
+		_, _ = w.Write([]byte{'\n'})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	total := 0
+	for _, line := range outs {
+		total += len(line) + 1
+	}
+	buf := make([]byte, 0, total)
+	for _, line := range outs {
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	_, _ = w.Write(buf)
+}
+
+// FleetHealth is the router's /healthz document.
+type FleetHealth struct {
+	Status      string `json:"status"` // "ok" while ≥1 shard is ready
+	ReadyShards int    `json:"ready_shards"`
+	TotalShards int    `json:"total_shards"`
+}
+
+func (r *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := FleetHealth{TotalShards: len(r.names)}
+	for _, sh := range r.shards {
+		if sh.ready.Load() {
+			h.ReadyShards++
+		}
+	}
+	if h.ReadyShards > 0 {
+		h.Status = "ok"
+		writeJSON(w, http.StatusOK, h)
+		return
+	}
+	h.Status = "no-ready-shards"
+	writeJSON(w, http.StatusServiceUnavailable, h)
+}
+
+// Snapshot is the router's /v1/metrics document: router-side
+// accounting, the per-shard health/breaker table, and the shared
+// collector counters (route_*, breaker_*).
+type Snapshot struct {
+	UptimeMs     int64          `json:"uptime_ms"`
+	CellSize     float64        `json:"cell_size"`
+	Failover     bool           `json:"failover"`
+	HedgeAfterMs int64          `json:"hedge_after_ms,omitempty"`
+	Calls        int64          `json:"calls"`
+	Lines        int64          `json:"lines"`
+	BadLines     int64          `json:"bad_lines"`
+	Busy         int64          `json:"busy"`
+	Refused      int64          `json:"refused"`
+	ReadyShards  int            `json:"ready_shards"`
+	Shards       []ShardStatus  `json:"shards"`
+	Metrics      metrics.Report `json:"metrics"`
+}
+
+// Snapshot returns the current fleet metrics document.
+func (r *Router) Snapshot() Snapshot {
+	snap := Snapshot{
+		UptimeMs:     time.Since(r.started).Milliseconds(),
+		CellSize:     r.opts.CellSize,
+		Failover:     r.opts.Failover,
+		HedgeAfterMs: r.opts.HedgeAfter.Milliseconds(),
+		Calls:        r.ctr.calls.Load(),
+		Lines:        r.ctr.lines.Load(),
+		BadLines:     r.ctr.badLines.Load(),
+		Busy:         r.ctr.busy.Load(),
+		Refused:      r.ctr.refused.Load(),
+		Metrics:      r.met.Snapshot(),
+	}
+	for _, name := range r.names {
+		st := r.shards[name].status()
+		if st.Ready {
+			snap.ReadyShards++
+		}
+		snap.Shards = append(snap.Shards, st)
+	}
+	return snap
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Snapshot())
+}
+
+func kindName(k core.EventKind) string {
+	if k == core.WorkerArrival {
+		return "worker"
+	}
+	return "request"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// splitLines cuts a body into non-empty trimmed lines (the shard-side
+// NDJSON convention).
+func splitLines(body []byte) [][]byte {
+	var out [][]byte
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if t := bytes.TrimSpace(line); len(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -39,8 +39,15 @@ type WALStatus struct {
 }
 
 // Recovery returns the startup recovery summary. The zero value means
-// the server runs without a WAL or started on an empty log.
-func (s *Server) Recovery() RecoveryInfo { return s.rec }
+// the server runs without a WAL, started on an empty log, or (with
+// RecoverInBackground) is still re-driving — wait on RecoverDone for
+// the settled value.
+func (s *Server) Recovery() RecoveryInfo {
+	if s.recovering.Load() {
+		return RecoveryInfo{}
+	}
+	return s.rec
+}
 
 // recover opens (or creates) the write-ahead log, loads the latest
 // valid snapshot manifest, and re-drives every logged event through

@@ -32,6 +32,16 @@ type LoadOptions struct {
 	// Batch groups up to this many consecutive same-kind events into one
 	// NDJSON POST (default 1: one event per call).
 	Batch int
+	// Coalesce fills batches with same-kind events even across kind
+	// interleavings: order within each kind is preserved, global
+	// cross-kind order is not. On an alternating worker/request stream
+	// the default (consecutive-only) batching averages ~2-3 events per
+	// POST no matter the Batch setting; coalescing actually reaches
+	// Batch and amortizes per-call HTTP cost. Sound against replay-mode
+	// servers and idempotent ingest (decisions key on event identity,
+	// not network arrival order) — the chaos drills already push over
+	// racing connections for the same reason.
+	Coalesce bool
 	// Timeout bounds one HTTP call (default 30s).
 	Timeout time.Duration
 	// Retries is how many times a shed (429) line is retried, sleeping
@@ -39,6 +49,13 @@ type LoadOptions struct {
 	// need retries: the sequencer cannot pass a gap left by a dropped
 	// event. Default 0.
 	Retries int
+	// UnavailRetries is the separate budget for 503-class lines
+	// (draining, recovering, unavailable). These are outages, not
+	// overload: a shard re-driving its WAL after a crash answers
+	// recovering for as long as the replay takes, so the budget that
+	// makes sense is much larger than the shed one. Each retry honors
+	// the server's retry_after_ms hint. Default 0 (drop on first 503).
+	UnavailRetries int
 	// Client overrides the HTTP client (tests inject the httptest one).
 	Client *http.Client
 }
@@ -47,25 +64,64 @@ type LoadOptions struct {
 // outcomes, decision totals and end-to-end call latency quantiles, in
 // the shape EXPERIMENTS.md tables and benchfmt snapshots consume.
 type LoadReport struct {
-	Events   int     `json:"events"`
-	Calls    int64   `json:"calls"`
-	OK       int64   `json:"ok"`
-	Shed     int64   `json:"shed"`
-	Retried  int64   `json:"retried"`
-	Dropped  int64   `json:"dropped"` // shed and out of retries
-	Failed   int64   `json:"failed"`  // transport or non-shed errors
-	Resumed  int64   `json:"resumed"` // duplicate: already applied before a restart
-	Requests int64   `json:"requests"`
-	Matched  int64   `json:"matched"`
-	Revenue  float64 `json:"revenue"`
-	P50Ms    float64 `json:"p50_ms"`
-	P90Ms    float64 `json:"p90_ms"`
-	P99Ms    float64 `json:"p99_ms"`
-	MaxMs    float64 `json:"max_ms"`
-	MeanMs   float64 `json:"mean_ms"`
-	WallMs   float64 `json:"wall_ms"`
-	QPS      float64 `json:"qps"` // achieved event throughput
-	ShedRate float64 `json:"shed_rate"`
+	Events      int     `json:"events"`
+	Calls       int64   `json:"calls"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Unavailable int64   `json:"unavailable"` // 503-class responses: draining/recovering/owner dark
+	Retried     int64   `json:"retried"`
+	Dropped     int64   `json:"dropped"` // out of retries (shed or unavailable budget)
+	Failed      int64   `json:"failed"`  // transport or non-retryable errors
+	Resumed     int64   `json:"resumed"` // duplicate: already applied before a restart
+	Requests    int64   `json:"requests"`
+	Matched     int64   `json:"matched"`
+	Revenue     float64 `json:"revenue"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MaxMs       float64 `json:"max_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	WallMs      float64 `json:"wall_ms"`
+	QPS         float64 `json:"qps"` // achieved event throughput
+	ShedRate    float64 `json:"shed_rate"`
+	// Shards is the per-shard slice of a fleet run, keyed by the shard
+	// names a router stamps on response lines. Nil against a direct
+	// comserve (no Shard stamps).
+	Shards map[string]*ShardLoad `json:"shards,omitempty"`
+}
+
+// ShardLoad is one shard's share of a fleet load run, as seen from the
+// client: admission outcomes, decisions, and the latency of the calls
+// whose lines that shard answered.
+type ShardLoad struct {
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Unavailable int64   `json:"unavailable"`
+	Resumed     int64   `json:"resumed"`
+	Matched     int64   `json:"matched"`
+	Revenue     float64 `json:"revenue"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+
+	lat *stats.Reservoir
+}
+
+// shard returns (creating on first sight) the per-shard bucket for a
+// stamped response line; nil for unstamped lines. Callers hold mu.
+func (r *LoadReport) shard(name string) *ShardLoad {
+	if name == "" {
+		return nil
+	}
+	if r.Shards == nil {
+		r.Shards = make(map[string]*ShardLoad)
+	}
+	s := r.Shards[name]
+	if s == nil {
+		s = &ShardLoad{lat: stats.NewReservoir(1<<12, 1)}
+		r.Shards[name] = s
+	}
+	return s
 }
 
 // Bench renders the report as a one-benchmark benchfmt document, so
@@ -97,6 +153,22 @@ type batchJob struct {
 	kind core.EventKind
 	evs  []WireEvent
 	due  time.Time // dispatch not before this instant (QPS pacing)
+	// retryFor is the status that queued this job for retry (StatusShed
+	// or a 503-class status); it selects which retry budget pays for the
+	// first re-post.
+	retryFor string
+}
+
+// retryable reports whether a response status warrants a re-post, and
+// which budget it draws from.
+func retryable(status string) (shedClass bool, ok bool) {
+	switch status {
+	case StatusShed:
+		return true, true
+	case StatusDraining, StatusRecovering, StatusUnavailable:
+		return false, true
+	}
+	return false, false
 }
 
 // RunLoad pushes the workload at the configured rate and collects the
@@ -129,24 +201,58 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 
 	// Build the batch schedule: consecutive same-kind events share a
 	// POST, each batch due at the arrival slot of its first event.
+	// Coalesce mode instead buffers per kind and flushes full batches,
+	// due at the slot of the earliest buffered event.
 	events := opts.Stream.Events()
 	start := time.Now()
-	var jobs []batchJob
-	for i := 0; i < len(events); {
-		kind := events[i].Kind
-		j := i
-		for j < len(events) && events[j].Kind == kind && j-i < opts.Batch {
-			j++
-		}
-		job := batchJob{kind: kind, due: start}
+	dueAt := func(i int) time.Time {
 		if opts.QPS > 0 {
-			job.due = start.Add(time.Duration(float64(i) / opts.QPS * float64(time.Second)))
+			return start.Add(time.Duration(float64(i) / opts.QPS * float64(time.Second)))
 		}
-		for _, ev := range events[i:j] {
-			job.evs = append(job.evs, EventToWire(ev))
+		return start
+	}
+	var jobs []batchJob
+	if opts.Coalesce {
+		type pending struct {
+			evs      []WireEvent
+			firstIdx int
 		}
-		jobs = append(jobs, job)
-		i = j
+		buf := map[core.EventKind]*pending{}
+		flush := func(kind core.EventKind) {
+			p := buf[kind]
+			if p == nil || len(p.evs) == 0 {
+				return
+			}
+			jobs = append(jobs, batchJob{kind: kind, evs: p.evs, due: dueAt(p.firstIdx)})
+			buf[kind] = nil
+		}
+		for i, ev := range events {
+			p := buf[ev.Kind]
+			if p == nil {
+				p = &pending{firstIdx: i}
+				buf[ev.Kind] = p
+			}
+			p.evs = append(p.evs, EventToWire(ev))
+			if len(p.evs) >= opts.Batch {
+				flush(ev.Kind)
+			}
+		}
+		flush(core.WorkerArrival)
+		flush(core.RequestArrival)
+	} else {
+		for i := 0; i < len(events); {
+			kind := events[i].Kind
+			j := i
+			for j < len(events) && events[j].Kind == kind && j-i < opts.Batch {
+				j++
+			}
+			job := batchJob{kind: kind, due: dueAt(i)}
+			for _, ev := range events[i:j] {
+				job.evs = append(job.evs, EventToWire(ev))
+			}
+			jobs = append(jobs, job)
+			i = j
+		}
 	}
 
 	var (
@@ -182,11 +288,12 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 					continue
 				}
 				lat.Observe(rtt)
+				observeShardRTT(&rep, outs, rtt)
 				retry := accountLines(&rep, job, outs)
 				mu.Unlock()
-				// Retry shed lines with fresh single-line batches.
+				// Retry shed/unavailable lines with fresh single-line batches.
 				for _, rj := range retry {
-					retryLine(ctx, client, base, rj, opts.Retries, &mu, &rep, lat)
+					retryLine(ctx, client, base, rj, opts, &mu, &rep, lat)
 				}
 			}
 		}()
@@ -217,36 +324,69 @@ func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	rep.P99Ms = float64(qs[2]) / float64(time.Millisecond)
 	rep.MaxMs = float64(lat.Max()) / float64(time.Millisecond)
 	rep.MeanMs = float64(lat.Mean()) / float64(time.Millisecond)
+	for _, sl := range rep.Shards {
+		sq := sl.lat.Quantiles([]float64{0.5, 0.99})
+		sl.P50Ms = float64(sq[0]) / float64(time.Millisecond)
+		sl.P99Ms = float64(sq[1]) / float64(time.Millisecond)
+		sl.MeanMs = float64(sl.lat.Mean()) / float64(time.Millisecond)
+	}
 	return &rep, loadErr
 }
 
-// accountLines books a batch's response lines and returns the shed
-// events to retry. Callers hold mu.
+// accountLines books a batch's response lines and returns the
+// retryable events (shed or 503-class) as fresh single-line jobs.
+// Callers hold mu.
 func accountLines(rep *LoadReport, job batchJob, outs []WireDecision) []batchJob {
 	var retry []batchJob
 	for i, out := range outs {
+		sl := rep.shard(out.Shard)
 		switch out.Status {
 		case StatusOK:
 			rep.OK++
+			if sl != nil {
+				sl.OK++
+			}
 			if out.Kind == "request" {
 				rep.Requests++
 				if out.Served {
 					rep.Matched++
 					rep.Revenue += out.Revenue
+					if sl != nil {
+						sl.Matched++
+						sl.Revenue += out.Revenue
+					}
 				}
 			}
 		case StatusShed:
 			rep.Shed++
+			if sl != nil {
+				sl.Shed++
+			}
 			if i < len(job.evs) {
 				retry = append(retry, batchJob{kind: job.kind,
-					evs: []WireEvent{job.evs[i]},
-					due: time.Now().Add(time.Duration(out.RetryAfterMs) * time.Millisecond)})
+					evs:      []WireEvent{job.evs[i]},
+					due:      retryDue(out.Status, out.RetryAfterMs),
+					retryFor: out.Status})
+			}
+		case StatusDraining, StatusRecovering, StatusUnavailable:
+			rep.Unavailable++
+			if sl != nil {
+				sl.Unavailable++
+			}
+			if i < len(job.evs) {
+				retry = append(retry, batchJob{kind: job.kind,
+					evs:      []WireEvent{job.evs[i]},
+					due:      retryDue(out.Status, out.RetryAfterMs),
+					retryFor: out.Status})
 			}
 		case StatusDuplicate:
 			// The event was already applied — normal when re-pushing a
 			// stream after a server restart recovered it from the WAL.
 			// Counting it failed would make every resumed run look broken.
 			rep.Resumed++
+			if sl != nil {
+				sl.Resumed++
+			}
 		default:
 			rep.Failed++
 		}
@@ -258,14 +398,58 @@ func accountLines(rep *LoadReport, job batchJob, outs []WireDecision) []batchJob
 	return retry
 }
 
-// retryLine re-posts one shed event up to retries times.
-func retryLine(ctx context.Context, client *http.Client, base string, job batchJob, retries int, mu *sync.Mutex, rep *LoadReport, lat *stats.Reservoir) {
-	for attempt := 0; ; attempt++ {
-		if attempt >= retries {
-			mu.Lock()
-			rep.Dropped++
-			mu.Unlock()
+// retryDue computes the next attempt's dispatch instant from the
+// server's hint. Unavailable-class responses without a hint still back
+// off a little: hammering a dark shard's router refusal path at full
+// speed helps nobody.
+func retryDue(status string, hintMs int64) time.Time {
+	wait := time.Duration(hintMs) * time.Millisecond
+	if wait == 0 && status != StatusShed {
+		wait = 25 * time.Millisecond
+	}
+	return time.Now().Add(wait)
+}
+
+// observeShardRTT attributes a call's round trip to a shard when every
+// line of the response was answered by that one shard (the common case
+// with per-line batches). Callers hold mu.
+func observeShardRTT(rep *LoadReport, outs []WireDecision, rtt time.Duration) {
+	if len(outs) == 0 || outs[0].Shard == "" {
+		return
+	}
+	name := outs[0].Shard
+	for _, out := range outs[1:] {
+		if out.Shard != name {
 			return
+		}
+	}
+	rep.shard(name).lat.Observe(rtt)
+}
+
+// retryLine re-posts one retryable event until it settles or its class
+// budget (shed vs unavailable) runs out. A retry that answers the
+// other class switches budgets: an event shed during recovery may next
+// see recovering, and vice versa.
+func retryLine(ctx context.Context, client *http.Client, base string, job batchJob, opts LoadOptions, mu *sync.Mutex, rep *LoadReport, lat *stats.Reservoir) {
+	shedLeft, unavailLeft := opts.Retries, opts.UnavailRetries
+	shedClass := job.retryFor == StatusShed
+	for {
+		if shedClass {
+			if shedLeft <= 0 {
+				mu.Lock()
+				rep.Dropped++
+				mu.Unlock()
+				return
+			}
+			shedLeft--
+		} else {
+			if unavailLeft <= 0 {
+				mu.Lock()
+				rep.Dropped++
+				mu.Unlock()
+				return
+			}
+			unavailLeft--
 		}
 		if wait := time.Until(job.due); wait > 0 {
 			select {
@@ -284,20 +468,36 @@ func retryLine(ctx context.Context, client *http.Client, base string, job batchJ
 			return
 		}
 		lat.Observe(rtt)
+		observeShardRTT(rep, outs, rtt)
 		if len(outs) == 0 {
 			rep.Failed++
 			mu.Unlock()
 			return
 		}
 		out := outs[0]
-		if out.Status != StatusShed {
-			done := accountLines(rep, job, outs)
+		isShed, again := retryable(out.Status)
+		if !again {
+			accountLines(rep, job, outs)
 			mu.Unlock()
-			_ = done
 			return
 		}
+		// Book the retryable response but keep the job here — the budget
+		// loop owns it now.
+		if isShed {
+			rep.Shed++
+		} else {
+			rep.Unavailable++
+		}
+		if sl := rep.shard(out.Shard); sl != nil {
+			if isShed {
+				sl.Shed++
+			} else {
+				sl.Unavailable++
+			}
+		}
 		mu.Unlock()
-		job.due = time.Now().Add(time.Duration(out.RetryAfterMs) * time.Millisecond)
+		shedClass = isShed
+		job.due = retryDue(out.Status, out.RetryAfterMs)
 	}
 }
 

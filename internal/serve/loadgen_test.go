@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"crossmatch/internal/core"
 	"crossmatch/internal/platform"
 )
 
@@ -111,5 +112,45 @@ func TestLoadReportBench(t *testing.T) {
 	}
 	if m["p99-ms"] != 3.25 || m["matched"] != 4 {
 		t.Fatalf("metric values: %+v", m)
+	}
+}
+
+// TestLoadCoalesceFillsBatches verifies the coalescing scheduler:
+// same-kind events fill batches across kind interleavings, so the
+// whole stream goes out in ~len/Batch calls instead of one call per
+// run of consecutive same-kind arrivals — while still delivering every
+// event exactly once.
+func TestLoadCoalesceFillsBatches(t *testing.T) {
+	stream := testStream(t, 40, 40, 3)
+	_, ts := startServer(t, Options{Algorithm: platform.AlgDemCOM, Seed: 3})
+
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		URL:      ts.URL,
+		Stream:   stream,
+		Conns:    4,
+		Batch:    8,
+		Coalesce: true,
+		Client:   ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.OK != int64(rep.Events) {
+		t.Fatalf("coalesced run must deliver every event: ok %d of %d (%+v)", rep.OK, rep.Events, rep)
+	}
+	// Count per-kind ceil(len/Batch) jobs; the alternating stream would
+	// otherwise produce nearly one call per event.
+	var workers, requests int
+	for _, ev := range stream.Events() {
+		if ev.Kind == core.WorkerArrival {
+			workers++
+		} else {
+			requests++
+		}
+	}
+	want := int64((workers+7)/8 + (requests+7)/8)
+	if rep.Calls != want {
+		t.Fatalf("coalesce: got %d calls, want %d (workers %d requests %d batch 8)",
+			rep.Calls, want, workers, requests)
 	}
 }

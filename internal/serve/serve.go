@@ -116,6 +116,15 @@ type Options struct {
 	// before recovered engine state. Recovery raises it further to the
 	// logged high-water mark.
 	ResumeVTime int64
+	// RecoverInBackground, with WALDir set, returns from New immediately
+	// and re-drives the log on a background goroutine: the server is
+	// live (HTTP up, /healthz/live answers 200) but not ready — ingest
+	// answers 503 {"status":"recovering"} and /healthz reports
+	// recovering — until the re-drive and its digest verify finish.
+	// This is how a fleet shard stays probe-able during a long recovery
+	// so a router can re-admit it the moment readiness flips. Default
+	// (false) recovers synchronously inside New, exactly as before.
+	RecoverInBackground bool
 }
 
 type eventKey struct {
@@ -146,10 +155,22 @@ type Server struct {
 	bucket *tokenBucket
 
 	draining atomic.Bool
-	seqDone  chan struct{}
-	started  time.Time
-	vbase    int64 // virtual-clock origin: 0, or the resumed high-water mark
-	vlast    int64 // sequencer-owned virtual clock high-water mark
+	// Readiness (liveness vs readiness split): recovering is true while
+	// a background WAL re-drive owns the server state; recFailed latches
+	// when that re-drive errors. Both stay false on the synchronous
+	// recovery path, where New does not return until the server is
+	// ready. recoverDone closes when the recovery attempt settles
+	// (success or failure); recErr is written before that close and read
+	// only after it.
+	recovering  atomic.Bool
+	recFailed   atomic.Bool
+	recoverDone chan struct{}
+	recErr      error
+
+	seqDone chan struct{}
+	started time.Time
+	vbase   int64 // virtual-clock origin: 0, or the resumed high-water mark
+	vlast   int64 // sequencer-owned virtual clock high-water mark
 
 	// replay state
 	replayIdx map[eventKey]int
@@ -250,13 +271,14 @@ func New(opts Options) (*Server, error) {
 	}
 
 	s := &Server{
-		opts:    opts,
-		met:     opts.Metrics,
-		eng:     eng,
-		queue:   make(chan *ingest, opts.QueueCap),
-		bucket:  newTokenBucket(opts.Rate, opts.Burst),
-		seqDone: make(chan struct{}),
-		started: time.Now(),
+		opts:        opts,
+		met:         opts.Metrics,
+		eng:         eng,
+		queue:       make(chan *ingest, opts.QueueCap),
+		bucket:      newTokenBucket(opts.Rate, opts.Burst),
+		seqDone:     make(chan struct{}),
+		recoverDone: make(chan struct{}),
+		started:     time.Now(),
 	}
 	s.nextReqID.Store(liveIDBase)
 	s.nextWorkerID.Store(liveIDBase)
@@ -289,7 +311,7 @@ func New(opts Options) (*Server, error) {
 		s.recycleBase = maxWorker
 	}
 
-	if opts.WALDir != "" {
+	if opts.WALDir != "" && !opts.RecoverInBackground {
 		if err := s.recover(); err != nil {
 			return nil, err
 		}
@@ -305,6 +327,7 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /healthz/live", s.handleLiveness)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -312,8 +335,50 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
-	go s.sequence()
+	if opts.WALDir != "" && opts.RecoverInBackground {
+		// Live-but-not-ready: HTTP is up, ingest answers "recovering",
+		// and the sequencer starts only once the re-drive owns no more
+		// state. A failed recovery latches the server unavailable; the
+		// sequencer still runs so drain/Close work normally (it can see
+		// no events — admission is gated on recFailed).
+		s.recovering.Store(true)
+		go func() {
+			err := s.recover()
+			if err != nil {
+				s.recErr = err
+				s.recFailed.Store(true)
+			}
+			s.recovering.Store(false)
+			close(s.recoverDone)
+			go s.sequence()
+		}()
+	} else {
+		close(s.recoverDone)
+		go s.sequence()
+	}
 	return s, nil
+}
+
+// Ready reports whether the server admits events: recovery (if any)
+// succeeded and the drain has not begun.
+func (s *Server) Ready() bool {
+	return !s.recovering.Load() && !s.recFailed.Load() && !s.draining.Load()
+}
+
+// RecoverDone returns a channel closed once the startup recovery
+// attempt settles (immediately for servers without a background
+// recovery). After it closes, RecoveryErr and Recovery are stable.
+func (s *Server) RecoverDone() <-chan struct{} { return s.recoverDone }
+
+// RecoveryErr returns the background recovery failure, nil when
+// recovery succeeded or never ran. Valid after RecoverDone closes.
+func (s *Server) RecoveryErr() error {
+	select {
+	case <-s.recoverDone:
+		return s.recErr
+	default:
+		return nil
+	}
 }
 
 // Handler returns the service's HTTP handler, ready to mount on any
@@ -394,7 +459,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, kind core.
 
 	if !batch {
 		out := outs[0]
-		if out.Status == StatusShed {
+		if out.RetryAfterMs > 0 {
 			w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(time.Duration(out.RetryAfterMs)*time.Millisecond), 10))
 		}
 		writeJSONStatus(w, out.httpStatus(), out)
@@ -460,6 +525,18 @@ func (s *Server) admit(kind core.EventKind, line []byte) (*ingest, WireDecision)
 		return nil, WireDecision{Status: StatusError, Kind: kindName(kind), Error: "bad event: " + err.Error()}
 	}
 
+	// The readiness gate must come before any replay bookkeeping: while
+	// a background recovery re-drives the log it owns the delivered bits
+	// and the cursor, and nothing else may touch them.
+	if s.recovering.Load() {
+		return nil, WireDecision{Status: StatusRecovering, Kind: kindName(kind), ID: we.ID,
+			RetryAfterMs: retryAfterMs(recoverRetryHint), Error: "wal recovery in progress"}
+	}
+	if s.recFailed.Load() {
+		return nil, WireDecision{Status: StatusUnavailable, Kind: kindName(kind), ID: we.ID,
+			Error: "wal recovery failed; server cannot admit events"}
+	}
+
 	it := &ingest{seq: -1, done: make(chan WireDecision, 1)}
 	admitted := false
 	if s.replayIdx != nil {
@@ -522,6 +599,11 @@ func (s *Server) admit(kind core.EventKind, line []byte) (*ingest, WireDecision)
 			RetryAfterMs: retryAfterMs(s.queueRetryHint()), Error: "ingest queue full"}
 	}
 }
+
+// recoverRetryHint is the backoff hint handed to clients refused while
+// a background WAL recovery is still re-driving the log: short enough
+// that a router re-admits the shard promptly after readiness flips.
+const recoverRetryHint = 250 * time.Millisecond
 
 // queueRetryHint estimates how long a full queue takes to make room:
 // the queue depth over the admission rate, or a small constant when
@@ -608,7 +690,9 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		},
 		Engine: s.met.Snapshot(),
 	}
-	if s.wal != nil {
+	// The recovering check is the happens-before edge: the WAL fields are
+	// owned by the background re-drive until it stores recovering=false.
+	if !s.recovering.Load() && s.wal != nil {
 		snap.WAL = &WALStatus{
 			Dir:              s.opts.WALDir,
 			FsyncBatch:       s.opts.FsyncBatch,
@@ -633,13 +717,36 @@ func (s *Server) handleTrace(w http.ResponseWriter, _ *http.Request) {
 	_ = s.opts.Tracer.WriteJSONL(w)
 }
 
+// HealthStatus is the /healthz and /healthz/live response body. The
+// liveness/readiness split matters to fleet routers: a shard re-driving
+// its WAL after a crash is live (the process answers) but not ready
+// (it must not be routed traffic until the digest verify passes), and
+// the old binary endpoint lied during exactly that window.
+type HealthStatus struct {
+	Status string `json:"status"` // "ok", "recovering", "draining", "failed" or "live"
+	Error  string `json:"error,omitempty"`
+}
+
+// handleHealth is the readiness probe: 200 {"status":"ok"} only when
+// the server admits events; 503 with the reason otherwise.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	switch {
+	case s.recovering.Load():
+		writeJSONStatus(w, http.StatusServiceUnavailable, HealthStatus{Status: "recovering"})
+	case s.recFailed.Load():
+		writeJSONStatus(w, http.StatusServiceUnavailable, HealthStatus{Status: "failed", Error: s.RecoveryErr().Error()})
+	case s.draining.Load():
+		writeJSONStatus(w, http.StatusServiceUnavailable, HealthStatus{Status: "draining"})
+	default:
+		writeJSONStatus(w, http.StatusOK, HealthStatus{Status: "ok"})
 	}
-	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleLiveness is the liveness probe: 200 as long as the process
+// serves HTTP, recovering or draining included. A router only treats a
+// shard as dead when this (or the TCP connect) fails.
+func (s *Server) handleLiveness(w http.ResponseWriter, _ *http.Request) {
+	writeJSONStatus(w, http.StatusOK, HealthStatus{Status: "live"})
 }
 
 // splitLines cuts a body into non-empty trimmed lines.

@@ -37,6 +37,14 @@ const (
 	// StatusDraining — the server is shutting down and no longer admits
 	// events.
 	StatusDraining = "draining"
+	// StatusRecovering — the server is live but not ready: WAL recovery
+	// is still re-driving the log and no events are admitted until the
+	// digest verify passes. Retry after RetryAfterMs.
+	StatusRecovering = "recovering"
+	// StatusUnavailable — the event could not be served by its owner
+	// (recovery failed, or a fleet router found the owning shard dark).
+	// Retry after RetryAfterMs.
+	StatusUnavailable = "unavailable"
 	// StatusDeadline — the event was admitted but its decision did not
 	// return within the per-request deadline. The event is still in the
 	// sequencer's order and will be applied; only this response gave up.
@@ -58,6 +66,10 @@ type WireDecision struct {
 	Kind   string `json:"kind,omitempty"` // "request" or "worker"
 	ID     int64  `json:"id,omitempty"`
 	VTime  int64  `json:"vtime,omitempty"` // virtual arrival tick stamped by the sequencer
+	// Shard names the serving shard that produced this line. Empty on
+	// direct comserve responses; a fleet router (cmd/comroute) stamps it
+	// so clients can attribute outcomes per shard.
+	Shard string `json:"shard,omitempty"`
 	// Decision fields, request arrivals only.
 	Served         bool    `json:"served,omitempty"`
 	Reason         string  `json:"reason,omitempty"`
@@ -73,13 +85,18 @@ type WireDecision struct {
 
 // httpStatus maps an outcome to the HTTP code used for single-object
 // posts (batch posts always answer 200 with per-line statuses).
-func (d *WireDecision) httpStatus() int {
-	switch d.Status {
+func (d *WireDecision) httpStatus() int { return HTTPStatus(d.Status) }
+
+// HTTPStatus maps a WireDecision status to the HTTP code single-object
+// posts answer with. Exported so the fleet router mirrors shard
+// semantics exactly when it synthesizes single-object responses.
+func HTTPStatus(status string) int {
+	switch status {
 	case StatusOK:
 		return http.StatusOK
 	case StatusShed:
 		return http.StatusTooManyRequests
-	case StatusDraining:
+	case StatusDraining, StatusRecovering, StatusUnavailable:
 		return http.StatusServiceUnavailable
 	case StatusDeadline:
 		return http.StatusGatewayTimeout

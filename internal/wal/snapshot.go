@@ -81,6 +81,7 @@ func WriteSnapshot(dir string, s *Snapshot) error {
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[headerSize:], payload)
 
+	removeStaleTemps(dir)
 	final := filepath.Join(dir, SnapshotName(s.Applied))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -172,12 +173,44 @@ func listSnapshots(dir string) ([]string, error) {
 	return names, nil
 }
 
+// pruneSnapshots trims manifests beyond the retention window,
+// best-effort. The newest manifest that actually verifies is never
+// removed, even when it has aged out of the window: if every younger
+// file is damaged (a torn write, a bad disk), that manifest is the only
+// recoverable checkpoint and deleting it would turn a partial failure
+// into an unrecoverable one.
 func pruneSnapshots(dir string) {
 	names, err := listSnapshots(dir)
 	if err != nil || len(names) <= snapKeep {
 		return
 	}
+	newestValid := ""
+	for i := len(names) - 1; i >= 0; i-- {
+		if _, err := readSnapshot(filepath.Join(dir, names[i])); err == nil {
+			newestValid = names[i]
+			break
+		}
+	}
 	for _, name := range names[:len(names)-snapKeep] {
+		if name == newestValid {
+			continue
+		}
 		_ = os.Remove(filepath.Join(dir, name))
+	}
+}
+
+// removeStaleTemps deletes leftover snapshot temp files — the residue
+// of a crash between the temp write and the rename. They were never
+// durable (the rename is the commit point) and only accumulate.
+func removeStaleTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix+".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
 	}
 }

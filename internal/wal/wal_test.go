@@ -297,6 +297,71 @@ func TestSnapshotPruning(t *testing.T) {
 	}
 }
 
+// TestSnapshotCrashBeforeRenameFallsBack models a crash between the
+// temp-file write and the rename: the orphaned .tmp must be invisible
+// to recovery (the older manifest wins) and swept by the next write.
+func TestSnapshotCrashBeforeRenameFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s1 := &Snapshot{Version: 1, Applied: 100, VLast: 5000, Algorithm: "DemCOM", Seed: 42,
+		Served: 60, Matched: 41, RevenueBits: math.Float64bits(99.5)}
+	if err := WriteSnapshot(dir, s1); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// The crash artifact: a fully written, never-renamed temp manifest
+	// at a newer position.
+	tmp := filepath.Join(dir, SnapshotName(200)+".tmp")
+	if err := os.WriteFile(tmp, []byte("torn snapshot bytes"), 0o644); err != nil {
+		t.Fatalf("writing tmp: %v", err)
+	}
+
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("LatestSnapshot: %v", err)
+	}
+	if got == nil || *got != *s1 {
+		t.Fatalf("recovery used %+v, want the pre-crash manifest %+v", got, s1)
+	}
+	// The next successful write sweeps the stale temp.
+	s3 := &Snapshot{Version: 1, Applied: 300, Algorithm: "DemCOM", Seed: 42}
+	if err := WriteSnapshot(dir, s3); err != nil {
+		t.Fatalf("WriteSnapshot after crash: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp %s survived the next write (err=%v)", tmp, err)
+	}
+	if got, err := LatestSnapshot(dir); err != nil || got == nil || *got != *s3 {
+		t.Fatalf("LatestSnapshot after recovery write: %+v, %v", got, err)
+	}
+}
+
+// TestSnapshotPruneKeepsLastVerifiedManifest corrupts every manifest
+// inside the retention window: pruning must not delete the older
+// manifest that still verifies — it is the only recoverable checkpoint.
+func TestSnapshotPruneKeepsLastVerifiedManifest(t *testing.T) {
+	dir := t.TempDir()
+	valid := &Snapshot{Version: 1, Applied: 10, Algorithm: "DemCOM", Seed: 42}
+	if err := WriteSnapshot(dir, valid); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	// Fill the retention window above it with damaged manifests — the
+	// shape of a run of torn writes or a failing disk.
+	for i := 0; i < snapKeep; i++ {
+		path := filepath.Join(dir, SnapshotName(int64(20+10*i)))
+		if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+			t.Fatalf("writing damaged manifest: %v", err)
+		}
+	}
+
+	pruneSnapshots(dir)
+	got, err := LatestSnapshot(dir)
+	if err != nil {
+		t.Fatalf("LatestSnapshot: %v", err)
+	}
+	if got == nil || *got != *valid {
+		t.Fatalf("prune deleted the last verified manifest: got %+v", got)
+	}
+}
+
 func TestEventCodecRoundTrip(t *testing.T) {
 	events := []struct {
 		ev  core.Event
