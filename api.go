@@ -25,7 +25,17 @@ const (
 	DemCOM = platform.AlgDemCOM
 	// RamCOM is the randomized cross online matching of Algorithm 3.
 	RamCOM = platform.AlgRamCOM
+	// BatchCOM is the windowed-dispatch variant: arrivals buffer for a
+	// configurable window of virtual time (WithBatchWindow) and each
+	// window is solved as one batch matching over the feasible inner and
+	// outer edges; per-request deadlines (WithBatchDeadline) pull a
+	// flush forward. Deterministic for a fixed seed and window.
+	BatchCOM = platform.AlgBatchCOM
 )
+
+// DefaultBatchWindow is the window BatchCOM uses when WithBatchWindow
+// is absent or non-positive.
+const DefaultBatchWindow = platform.DefaultBatchWindow
 
 // Sentinel errors. Callers should test with errors.Is: lookups wrap
 // these with the offending name and the accepted values.
@@ -185,6 +195,18 @@ type simConfig struct {
 	tracer           *Tracer
 	traceSample      float64
 	pricingScan      bool
+	batchWindow      Time
+	batchDeadline    Time
+}
+
+// algConfig lowers the option set into the per-algorithm factory knobs;
+// the window fields only matter when the algorithm is windowed.
+func algConfig(maxValue float64, opts []Option) platform.AlgConfig {
+	var c simConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return platform.AlgConfig{MaxValue: maxValue, Window: c.batchWindow, Deadline: c.batchDeadline}
 }
 
 // platformConfig lowers the functional options into the runtime Config —
@@ -301,6 +323,21 @@ func WithTraceSample(rate float64) Option {
 	return func(c *simConfig) { c.traceSample = rate }
 }
 
+// WithBatchWindow sets BatchCOM's batching window in virtual ticks;
+// non-positive (the default) selects DefaultBatchWindow. The greedy
+// algorithms ignore it.
+func WithBatchWindow(w Time) Option {
+	return func(c *simConfig) { c.batchWindow = w }
+}
+
+// WithBatchDeadline caps how long BatchCOM may hold any single request,
+// pulling its window flush forward when a buffered request would
+// otherwise wait longer; non-positive (the default) leaves flushes on
+// the window boundary. The greedy algorithms ignore it.
+func WithBatchDeadline(d Time) Option {
+	return func(c *simConfig) { c.batchDeadline = d }
+}
+
 // WithPricingTables switches the COM matchers' pricing quoter between
 // the precomputed per-history CDF tables (true, the default) and the
 // exact linear scan over raw history values (false). Both paths produce
@@ -317,7 +354,7 @@ func WithPricingTables(on bool) Option {
 // cancels mid-stream: the run stops between arrival events and returns
 // the partial result alongside an error wrapping ctx.Err().
 func SimulateContext(ctx context.Context, stream *Stream, algorithm string, opts ...Option) (*SimResult, error) {
-	factory, err := platform.FactoryFor(algorithm, stream.MaxValue())
+	factory, err := platform.FactoryConfigured(algorithm, algConfig(stream.MaxValue(), opts))
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
@@ -404,7 +441,7 @@ var (
 // meaningless here (the engine is single-goroutine by contract) and is
 // ignored.
 func NewEngine(pids []PlatformID, algorithm string, maxValue float64, opts ...Option) (*MatchEngine, error) {
-	factory, err := platform.FactoryFor(algorithm, maxValue)
+	factory, err := platform.FactoryConfigured(algorithm, algConfig(maxValue, opts))
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}
@@ -431,7 +468,7 @@ func StreamArrivals(s *Stream) ArrivalSource { return platform.StreamSource(s) }
 // the run stops at the next event boundary and returns the partial
 // result alongside an error wrapping ctx.Err().
 func SimulateSource(ctx context.Context, pids []PlatformID, algorithm string, maxValue float64, src ArrivalSource, opts ...Option) (*SimResult, error) {
-	factory, err := platform.FactoryFor(algorithm, maxValue)
+	factory, err := platform.FactoryConfigured(algorithm, algConfig(maxValue, opts))
 	if err != nil {
 		return nil, fmt.Errorf("crossmatch: %w", err)
 	}

@@ -366,3 +366,29 @@ func TestDisabledTracerOverheadGuard(t *testing.T) {
 			(ratio-1)*100, bare, disabled)
 	}
 }
+
+// BenchmarkBatchWindow measures one BatchCOM windowed-dispatch
+// simulation end to end, excluding stream generation: the per-window
+// buffer/flush machinery, the batch edge-set build and the canonical
+// per-window matching. Guarded by allocs/op against BENCH_PR9.json in
+// scripts/bench_guard.sh — the windowed hot path must not quietly start
+// allocating per buffered request.
+func BenchmarkBatchWindow(b *testing.B) {
+	cfg, err := workload.Synthetic(2500, 500, 1.0, "real")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.Generate(cfg, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{WithSeed(benchSeed), WithBatchWindow(10)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateContext(context.Background(), stream, BatchCOM, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalRevenue(), "rev")
+	}
+}

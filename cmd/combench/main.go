@@ -13,7 +13,11 @@
 //	combench -exp tableV -faults drop=0.2,latency=0.3:1ms-10ms
 //
 // Experiment ids: tableV tableVI tableVII fig5a..fig5l cr ablations
-// roadnet valuedist platforms variance faults all.
+// roadnet valuedist platforms variance faults window all.
+//
+// The window experiment sweeps BatchCOM's batching window (-window
+// lists the lengths, -batch-deadline caps per-request buffering)
+// against the immediate-dispatch DemCOM baseline.
 //
 // The -faults flag injects a cooperation fault plan into every unit
 // run; see EXPERIMENTS.md "Fault model & degradation" for the grammar
@@ -33,8 +37,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-
+	"strconv"
 	"strings"
+
+	"crossmatch/internal/core"
 
 	"crossmatch/internal/experiments"
 	"crossmatch/internal/fault"
@@ -46,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, all)")
+		exp         = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, window, all)")
 		scale       = flag.Float64("scale", 0.05, "fraction of the paper's Table III dataset sizes for table experiments")
 		seed        = flag.Int64("seed", 42, "root random seed")
 		repeats     = flag.Int("repeats", 3, "seeds averaged per measurement")
@@ -62,6 +68,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write retained spans to this file: .jsonl = JSONL, anything else = Chrome trace-event JSON loadable in Perfetto (requires -trace)")
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests traced, in (0,1]; 0 traces everything (requires -trace)")
 		traceCap    = flag.Int("trace-cap", 0, "span ring capacity per platform (0 = default; oldest spans evicted once full; requires -trace)")
+		windowSpec  = flag.String("window", "", "comma-separated BatchCOM window lengths in virtual ticks for -exp window (empty = default sweep)")
+		batchDeadl  = flag.Int64("batch-deadline", 0, "per-request buffering cap in virtual ticks for -exp window (0 = window-boundary flushes only)")
 	)
 	flag.Parse()
 	plan, err := validateFaultFlags(*faultsSpec, *faultSeed, *platpar)
@@ -78,7 +86,12 @@ func main() {
 	if *metricsPath != "" {
 		runner.Metrics = metrics.New()
 	}
-	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, *faultSeed, runner); err != nil {
+	windows, err := parseWindows(*windowSpec, *batchDeadl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, *faultSeed, windows, core.Time(*batchDeadl), runner); err != nil {
 		if errors.Is(err, workload.ErrUnknownPreset) {
 			fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
 		} else {
@@ -191,7 +204,28 @@ func writeMetrics(path string, c *metrics.Collector) error {
 	return c.Snapshot().WriteJSON(out)
 }
 
-func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, faultSeed int64, runner *experiments.Runner) error {
+// parseWindows parses the -window list and rejects window flags that
+// cannot take effect — a malformed or non-positive length must be a
+// usage error, never a silently defaulted sweep.
+func parseWindows(spec string, deadline int64) ([]core.Time, error) {
+	if deadline < 0 {
+		return nil, fmt.Errorf("-batch-deadline must be non-negative, got %d", deadline)
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	var out []core.Time
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-window: %q is not a positive tick count", part)
+		}
+		out = append(out, core.Time(n))
+	}
+	return out, nil
+}
+
+func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, faultSeed int64, windows []core.Time, batchDeadline core.Time, runner *experiments.Runner) error {
 	render := func(t *stats.Table) error {
 		var err error
 		if csvOut {
@@ -210,7 +244,7 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 		ids = []string{"tableV", "tableVI", "tableVII",
 			"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
 			"fig5i", "fig5j", "fig5k", "fig5l", "cr", "ablations", "roadnet", "valuedist",
-			"platforms", "variance", "faults"}
+			"platforms", "variance", "faults", "window"}
 	}
 
 	// Sweeps are shared across the four figures of one axis; cache them.
@@ -343,6 +377,20 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 			res, err = experiments.RunVariance(experiments.VarianceOptions{Seed: seed, Runner: runner})
 			if err == nil {
 				err = render(res.Table())
+			}
+		case "window":
+			var res *experiments.WindowResult
+			res, err = experiments.RunWindow(experiments.WindowOptions{
+				Seed: seed, Repeats: repeats, Windows: windows, Deadline: batchDeadline, Runner: runner,
+			})
+			if err == nil {
+				err = render(res.Table())
+			}
+			if err == nil && !csvOut {
+				err = res.WriteNote(w)
+				if err == nil {
+					_, err = fmt.Fprintln(w)
+				}
 			}
 		case "faults":
 			var res *experiments.FaultSweepResult

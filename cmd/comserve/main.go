@@ -56,6 +56,8 @@ type options struct {
 	deadline     time.Duration
 	procDelay    time.Duration
 	serviceTicks int64
+	window       int64
+	batchDeadl   int64
 	noCoop       bool
 	faultsSpec   string
 	traceOn      bool
@@ -71,7 +73,7 @@ type options struct {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
-	flag.StringVar(&o.alg, "alg", platform.AlgDemCOM, "algorithm: TOTA, Greedy-RT, DemCOM or RamCOM")
+	flag.StringVar(&o.alg, "alg", platform.AlgDemCOM, "algorithm: TOTA, Greedy-RT, DemCOM, RamCOM or BatchCOM")
 	flag.Int64Var(&o.seed, "seed", 42, "random seed (the served result is a pure function of the event sequence and this seed)")
 	flag.StringVar(&o.replay, "replay", "", "comgen CSV recorded stream: serve in deterministic replay mode")
 	flag.StringVar(&o.platforms, "platforms", "1,2", "live-mode platform IDs, comma-separated")
@@ -82,6 +84,8 @@ func main() {
 	flag.DurationVar(&o.deadline, "deadline", 10*time.Second, "per-request decision deadline (expired waits answer 504)")
 	flag.DurationVar(&o.procDelay, "proc-delay", 0, "artificial per-event engine delay (capacity knob for overload experiments)")
 	flag.Int64Var(&o.serviceTicks, "service-ticks", 0, "worker service duration in virtual ticks (0 = workers serve once)")
+	flag.Int64Var(&o.window, "window", 0, "BatchCOM batching window in virtual ticks (one tick = 1ms live; 0 = default window)")
+	flag.Int64Var(&o.batchDeadl, "batch-deadline", 0, "cap on how long BatchCOM may buffer one request, in virtual ticks (0 = window-boundary flushes only)")
 	flag.BoolVar(&o.noCoop, "nocoop", false, "disable cross-platform cooperation")
 	flag.StringVar(&o.faultsSpec, "faults", "", "cooperation fault plan, e.g. 'drop=0.1,latency=0.2:1ms-10ms' (see EXPERIMENTS.md)")
 	flag.BoolVar(&o.traceOn, "trace", false, "record per-request decision spans (export at /v1/trace)")
@@ -134,6 +138,8 @@ func buildOptions(o options) (serve.Options, error) {
 		Deadline:            o.deadline,
 		ProcessDelay:        o.procDelay,
 		ServiceTicks:        core.Time(o.serviceTicks),
+		Window:              core.Time(o.window),
+		BatchDeadline:       core.Time(o.batchDeadl),
 		DisableCoop:         o.noCoop,
 		WALDir:              o.walDir,
 		FsyncBatch:          o.fsyncBatch,

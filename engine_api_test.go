@@ -104,3 +104,59 @@ func TestEngineTimeRegressionPublic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBatchCOMPublicAPI: the windowed algorithm through the public
+// surface — BatchCOM with WithBatchWindow/WithBatchDeadline runs
+// deterministically, and the incremental engine reproduces
+// SimulateContext bit for bit, deferred flush decisions included.
+func TestBatchCOMPublicAPI(t *testing.T) {
+	stream, err := GenerateSynthetic(200, 150, 1.0, "real", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := []Option{WithSeed(42), WithBatchWindow(5), WithBatchDeadline(3)}
+	want, err := SimulateContext(context.Background(), stream, BatchCOM, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := SimulateContext(context.Background(), stream, BatchCOM, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalRevenue() != again.TotalRevenue() || want.TotalServed() != again.TotalServed() {
+		t.Fatalf("BatchCOM not deterministic: %v/%d vs %v/%d",
+			want.TotalRevenue(), want.TotalServed(), again.TotalRevenue(), again.TotalServed())
+	}
+
+	eng, err := NewEngine(stream.Platforms(), BatchCOM, stream.MaxValue(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deferred, flushed int
+	eng.SetDecisionHandler(func(d EngineDecision) {
+		flushed++
+		if d.At < d.Request.Arrival {
+			t.Errorf("flush decision before arrival: %+v", d)
+		}
+	})
+	for _, ev := range stream.Events() {
+		d, err := eng.Process(ev)
+		if err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		if ev.Kind == RequestArrival && d.Deferred {
+			deferred++
+		}
+	}
+	got, err := eng.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRevenue() != want.TotalRevenue() || got.TotalServed() != want.TotalServed() {
+		t.Fatalf("engine revenue/served %v/%d, simulate %v/%d",
+			got.TotalRevenue(), got.TotalServed(), want.TotalRevenue(), want.TotalServed())
+	}
+	if deferred == 0 || flushed != deferred {
+		t.Fatalf("window bookkeeping: %d deferred, %d flushed (want equal, non-zero)", deferred, flushed)
+	}
+}

@@ -92,6 +92,14 @@ const (
 	// ReasonBelowThreshold — Greedy-RT rejected the request for falling
 	// below its randomized value threshold.
 	ReasonBelowThreshold Reason = "below-threshold"
+	// ReasonBuffered — a windowed matcher (BatchCOM) buffered the request
+	// for a later batched decision; the placeholder Decision carries
+	// Deferred=true and no outcome fields.
+	ReasonBuffered Reason = "buffered"
+	// ReasonWindowLost — the windowed solver had feasible workers for the
+	// request but assigned every one of them to other requests in the
+	// same window.
+	ReasonWindowLost Reason = "window-lost"
 )
 
 // Decision records the outcome of one request arrival.
@@ -116,6 +124,12 @@ type Decision struct {
 	// in the sequential runtime; under the concurrent runtime it measures
 	// real cross-platform contention.
 	ClaimRetries int
+	// Deferred is true when the matcher buffered the request for a later
+	// windowed decision instead of deciding it immediately (BatchCOM).
+	// No outcome field is meaningful on a deferred Decision and it must
+	// not be folded into Stats; the real Decision arrives in a
+	// WindowDecision when the window flushes.
+	Deferred bool
 }
 
 // Matcher is an online matching algorithm bound to one platform.
@@ -128,6 +142,37 @@ type Matcher interface {
 	// immediately (the online constraint): serve it with an inner
 	// worker, serve it with a claimed outer worker, or reject it.
 	RequestArrives(r *core.Request) Decision
+}
+
+// WindowDecision is one request's final outcome from a window flush:
+// the Decision a windowed matcher deferred at arrival time, stamped
+// with the virtual time the window closed.
+type WindowDecision struct {
+	Request *core.Request
+	// At is the virtual flush time — the decision's logical timestamp
+	// (a recycled worker minted from it re-arrives At+ServiceTicks).
+	At core.Time
+	Decision
+}
+
+// WindowedMatcher is a Matcher that defers request decisions into
+// virtual-time windows (BatchCOM). RequestArrives returns a Deferred
+// placeholder; the simulation layer drives the matcher's clock through
+// Advance before every event and reads the batched decisions back.
+//
+// The contract that keeps windowed runs deterministic: Advance must be
+// a pure function of the set of buffered requests and t — independent
+// of the order same-time requests were buffered in — and the returned
+// slice is sorted by request ID. The slice is only valid until the next
+// Advance call (implementations reuse the backing buffer).
+type WindowedMatcher interface {
+	Matcher
+	// NextFlush returns the virtual time the open window is due to
+	// flush, and whether a window is open at all.
+	NextFlush() (core.Time, bool)
+	// Advance moves the matcher's clock to t, flushing the open window
+	// when its due time is at or before t; nil when nothing flushed.
+	Advance(t core.Time) []WindowDecision
 }
 
 // Stats tallies a matcher's outcomes; the simulation layer aggregates

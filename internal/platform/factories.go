@@ -20,8 +20,13 @@ const (
 	AlgGreedyRT = "Greedy-RT"
 	AlgDemCOM   = "DemCOM"
 	AlgRamCOM   = "RamCOM"
+	AlgBatchCOM = "BatchCOM"
 	AlgOFF      = "OFF"
 )
+
+// DefaultBatchWindow re-exports BatchCOM's default window length for
+// callers configuring through this package.
+const DefaultBatchWindow = online.DefaultBatchWindow
 
 // TOTAFactory builds the single-platform greedy baseline.
 func TOTAFactory() MatcherFactory {
@@ -72,6 +77,52 @@ func RamCOMFactory(maxValue float64, opts RamCOMOptions) MatcherFactory {
 	}
 }
 
+// BatchCOMFactory builds the windowed dispatch matcher: arrivals buffer
+// for window virtual ticks (non-positive selects DefaultBatchWindow)
+// and flush as one max-weight matching; deadline, when positive, caps
+// any request's wait.
+func BatchCOMFactory(mc pricing.MonteCarlo, window, deadline core.Time) MatcherFactory {
+	return func(_ core.PlatformID, coop online.CoopView, rng *rand.Rand) online.Matcher {
+		return online.NewBatchCOM(coop, mc, rng, window, deadline)
+	}
+}
+
+// AlgConfig carries the per-algorithm knobs FactoryConfigured needs
+// beyond the name: the a-priori value bound for the threshold
+// algorithms, and BatchCOM's window geometry.
+type AlgConfig struct {
+	// MaxValue is max(v_r), used by Greedy-RT and RamCOM.
+	MaxValue float64
+	// Window is BatchCOM's batching window in virtual ticks;
+	// non-positive selects DefaultBatchWindow. Ignored by the greedy
+	// algorithms.
+	Window core.Time
+	// Deadline, when positive, caps how long BatchCOM may hold any
+	// single request, pulling the window flush forward. Ignored by the
+	// greedy algorithms.
+	Deadline core.Time
+}
+
+// FactoryConfigured is FactoryFor with the full knob set; FactoryFor
+// delegates here with a zero window.
+func FactoryConfigured(name string, c AlgConfig) (MatcherFactory, error) {
+	switch name {
+	case AlgTOTA:
+		return TOTAFactory(), nil
+	case AlgGreedyRT:
+		return GreedyRTFactory(c.MaxValue), nil
+	case AlgDemCOM:
+		return DemCOMFactory(pricing.DefaultMonteCarlo, false), nil
+	case AlgRamCOM:
+		return RamCOMFactory(c.MaxValue, RamCOMOptions{}), nil
+	case AlgBatchCOM:
+		return BatchCOMFactory(pricing.DefaultMonteCarlo, c.Window, c.Deadline), nil
+	default:
+		return nil, fmt.Errorf("platform: %w %q (want %s, %s, %s, %s or %s)",
+			ErrUnknownAlgorithm, name, AlgTOTA, AlgGreedyRT, AlgDemCOM, AlgRamCOM, AlgBatchCOM)
+	}
+}
+
 // FactoryByName returns the factory for a paper algorithm name; stream
 // statistics supply max(v_r) for the threshold algorithms. It returns
 // ok=false for unknown names (including AlgOFF, which is not an online
@@ -86,17 +137,5 @@ func FactoryByName(name string, maxValue float64) (MatcherFactory, bool) {
 // return an error wrapping ErrUnknownAlgorithm that names the
 // acceptable algorithms.
 func FactoryFor(name string, maxValue float64) (MatcherFactory, error) {
-	switch name {
-	case AlgTOTA:
-		return TOTAFactory(), nil
-	case AlgGreedyRT:
-		return GreedyRTFactory(maxValue), nil
-	case AlgDemCOM:
-		return DemCOMFactory(pricing.DefaultMonteCarlo, false), nil
-	case AlgRamCOM:
-		return RamCOMFactory(maxValue, RamCOMOptions{}), nil
-	default:
-		return nil, fmt.Errorf("platform: %w %q (want %s, %s, %s or %s)",
-			ErrUnknownAlgorithm, name, AlgTOTA, AlgGreedyRT, AlgDemCOM, AlgRamCOM)
-	}
+	return FactoryConfigured(name, AlgConfig{MaxValue: maxValue})
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"crossmatch/internal/core"
 	"crossmatch/internal/online"
@@ -26,6 +27,14 @@ var ErrEngineClosed = errors.New("engine already finished")
 // non-decreasing, exactly like a validated Stream. Match it with
 // errors.Is.
 var ErrTimeRegression = errors.New("event time regression")
+
+// ErrUnknownPlatform is the typed error returned when an event names a
+// platform the engine was not built with. Stream runs can never hit it
+// (a validated Stream only contains its own platforms), but a live
+// server feeds whatever the network sends — without this guard an
+// unknown platform ID would reach a nil matcher and panic the
+// sequencer. Match it with errors.Is.
+var ErrUnknownPlatform = errors.New("unknown platform")
 
 // RecycleIDBase is the first worker ID an Engine mints for recycled
 // workers (ServiceTicks > 0) when no explicit base is set: high enough
@@ -53,6 +62,29 @@ type RequestDecision struct {
 	Payment float64
 	// Revenue is what the request's platform books (v, or v − v').
 	Revenue float64
+	// Deferred is true when a windowed matcher (BatchCOM) buffered the
+	// request instead of deciding it: no outcome field is meaningful and
+	// the final decision arrives later through the engine's decision
+	// handler when the window flushes (SetDecisionHandler).
+	Deferred bool
+	// At is the virtual time the decision was made: the arrival tick for
+	// the greedy matchers, the window flush tick for a windowed one — so
+	// At − Request.Arrival is the request's dispatch wait, the quantity
+	// the window+deadline geometry bounds.
+	At core.Time
+}
+
+// requestDecisionOf converts a matcher decision into the serving-facing
+// RequestDecision.
+func requestDecisionOf(r *core.Request, d online.Decision, at core.Time) RequestDecision {
+	rd := RequestDecision{Request: r, Served: d.Served, Reason: d.Reason, Deferred: d.Deferred, At: at}
+	if d.Served {
+		rd.Worker = d.Assignment.Worker
+		rd.Outer = d.Assignment.Outer
+		rd.Payment = d.Assignment.Payment
+		rd.Revenue = d.Assignment.Revenue()
+	}
+	return rd
 }
 
 // Engine is the incremental counterpart of Run: the same deterministic
@@ -121,14 +153,19 @@ func (e *Engine) Process(ev core.Event) (RequestDecision, error) {
 	if e.started && ev.Time < e.last {
 		return RequestDecision{}, fmt.Errorf("platform: %w: event at %d after %d", ErrTimeRegression, ev.Time, e.last)
 	}
+	pid, ok := eventPlatform(ev)
+	if !ok && (ev.Kind == core.WorkerArrival || ev.Kind == core.RequestArrival) {
+		return RequestDecision{}, fmt.Errorf("platform: %s event with nil payload", kindLabel(ev.Kind))
+	}
+	if ok {
+		if _, known := e.s.matchers[pid]; !known {
+			return RequestDecision{}, fmt.Errorf("platform: %w: %d", ErrUnknownPlatform, pid)
+		}
+	}
 	e.started = true
 	e.last = ev.Time
-	for len(e.recycle) > 0 && e.recycle[0].Arrival <= ev.Time {
-		w := heap.Pop(&e.recycle).(*core.Worker)
-		if err := e.s.deliver(w); err != nil {
-			return RequestDecision{}, err
-		}
-		e.recycled++
+	if err := e.s.settleDue(&e.recycle, &e.recycled, ev.Time, e.s.windowed); err != nil {
+		return RequestDecision{}, err
 	}
 	switch ev.Kind {
 	case core.WorkerArrival:
@@ -149,35 +186,100 @@ func (e *Engine) Process(ev core.Event) (RequestDecision, error) {
 		if reborn != nil {
 			heap.Push(&e.recycle, reborn)
 		}
-		rd := RequestDecision{Request: ev.Request, Served: d.Served, Reason: d.Reason}
-		if d.Served {
-			rd.Worker = d.Assignment.Worker
-			rd.Outer = d.Assignment.Outer
-			rd.Payment = d.Assignment.Payment
-			rd.Revenue = d.Assignment.Revenue()
-		}
-		return rd, nil
+		return requestDecisionOf(ev.Request, d, ev.Time), nil
 	default:
 		return RequestDecision{}, fmt.Errorf("platform: unknown event kind %d", ev.Kind)
 	}
 }
 
-// Finish flushes the pending recycle heap (every completed service
-// counts as a re-arrival, mirroring the end-of-stream flush of the
-// batch runtime) and returns the accumulated Result. The engine is
-// closed afterwards: further Process or Finish calls return an error
-// wrapping ErrEngineClosed.
+// kindLabel names an event kind for error text.
+func kindLabel(k core.EventKind) string {
+	if k == core.WorkerArrival {
+		return "worker"
+	}
+	return "request"
+}
+
+// eventPlatform extracts the platform an arrival event names, false
+// for malformed events (nil payload, unknown kind) — those fall
+// through to Process's own per-kind handling.
+func eventPlatform(ev core.Event) (core.PlatformID, bool) {
+	switch {
+	case ev.Kind == core.WorkerArrival && ev.Worker != nil:
+		return ev.Worker.Platform, true
+	case ev.Kind == core.RequestArrival && ev.Request != nil:
+		return ev.Request.Platform, true
+	}
+	return 0, false
+}
+
+// AdvanceTime moves the engine's virtual clock to t without feeding an
+// event, settling everything due at or before t — recycled-worker
+// re-arrivals and, above all, windowed-matcher flushes, which is how
+// the serving layer drives BatchCOM windows shut between arrivals. A t
+// at or before the clock's current position is a no-op (the settle
+// already happened when the clock passed it); a t ahead of it advances
+// the clock, so later events must arrive at or after t, exactly like an
+// event at t.
+func (e *Engine) AdvanceTime(t core.Time) error {
+	if e.finished {
+		return fmt.Errorf("platform: %w", ErrEngineClosed)
+	}
+	if e.started && t <= e.last {
+		return nil
+	}
+	e.started = true
+	e.last = t
+	return e.s.settleDue(&e.recycle, &e.recycled, t, e.s.windowed)
+}
+
+// SetDecisionHandler registers the hook receiving every window-flushed
+// decision as it is folded (nil unregisters). The serving layer uses it
+// to answer requests that got a Deferred placeholder from Process. Set
+// it before feeding events; the engine reads it without locking from
+// whichever call triggers a flush.
+func (e *Engine) SetDecisionHandler(fn func(RequestDecision)) { e.s.onFlush = fn }
+
+// Windowed reports whether any platform runs a windowed matcher — when
+// false, AdvanceTime can never flush anything and callers may skip
+// clock-driving entirely.
+func (e *Engine) Windowed() bool { return len(e.s.windowed) > 0 }
+
+// HasOpenWindow reports whether some windowed matcher is holding
+// buffered requests right now. The serving layer gates its virtual-time
+// ticks on it so an idle server logs nothing.
+func (e *Engine) HasOpenWindow() bool {
+	_, open := e.NextFlush()
+	return open
+}
+
+// NextFlush returns the earliest due time among open windows, and
+// whether any window is open. The serving layer compares it against the
+// sequencer's virtual clock to tick (and WAL-log the tick) only when
+// the tick would actually flush something.
+func (e *Engine) NextFlush() (core.Time, bool) {
+	due, open := core.Time(0), false
+	for i := range e.s.windowed {
+		if t, ok := e.s.windowed[i].m.NextFlush(); ok && (!open || t < due) {
+			due, open = t, true
+		}
+	}
+	return due, open
+}
+
+// Finish settles everything still pending — recycled workers due after
+// the last event and the final open window, interleaved in virtual-time
+// order (every completed service counts as a re-arrival, mirroring the
+// end-of-stream settle of the batch runtime) — and returns the
+// accumulated Result. The engine is closed afterwards: further Process
+// or Finish calls return an error wrapping ErrEngineClosed.
 func (e *Engine) Finish() (*Result, error) {
 	if e.finished {
 		return nil, fmt.Errorf("platform: %w", ErrEngineClosed)
 	}
 	e.finished = true
-	for len(e.recycle) > 0 {
-		w := heap.Pop(&e.recycle).(*core.Worker)
-		if err := e.s.deliver(w); err != nil {
-			return nil, err
-		}
-		e.recycled++
+	if err := e.s.settleDue(&e.recycle, &e.recycled, core.Time(math.MaxInt64), e.s.windowed); err != nil {
+		return nil, err
 	}
 	e.s.res.Recycled = e.recycled
 	e.s.res.Lent = e.s.hub.Lent()

@@ -67,11 +67,11 @@ func assertSameResult(t *testing.T, want, got *Result) {
 // with and without worker recycling (which exercises SetRecycleBase).
 func TestEngineMatchesRun(t *testing.T) {
 	stream := feedTestStream(t, 400, 120, 7)
-	for _, alg := range []string{AlgTOTA, AlgDemCOM, AlgRamCOM} {
+	for _, alg := range []string{AlgTOTA, AlgDemCOM, AlgRamCOM, AlgBatchCOM} {
 		for _, ticks := range []core.Time{0, 3} {
-			factory, err := FactoryFor(alg, stream.MaxValue())
+			factory, err := FactoryConfigured(alg, AlgConfig{MaxValue: stream.MaxValue(), Window: 8})
 			if err != nil {
-				t.Fatalf("FactoryFor(%s): %v", alg, err)
+				t.Fatalf("FactoryConfigured(%s): %v", alg, err)
 			}
 			cfg := Config{Seed: 99, ServiceTicks: ticks}
 			want, err := Run(stream, factory, cfg)
@@ -202,6 +202,38 @@ func TestEngineTimeRegression(t *testing.T) {
 	}
 	if err := eng.SetRecycleBase(100); err == nil {
 		t.Fatal("SetRecycleBase after the first event must fail")
+	}
+}
+
+// TestEngineUnknownPlatform: an event naming a platform outside the
+// engine's set must be a typed error, not a nil-matcher panic — the
+// live serving path feeds whatever the network sends. The rejection
+// must not advance the clock or mark the engine started.
+func TestEngineUnknownPlatform(t *testing.T) {
+	factory, err := FactoryFor(AlgTOTA, 10)
+	if err != nil {
+		t.Fatalf("FactoryFor: %v", err)
+	}
+	eng, err := NewEngine([]core.PlatformID{1, 2}, factory, Config{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	r := &core.Request{ID: 1, Arrival: 9, Value: 2, Platform: 7}
+	if _, err := eng.Process(core.Event{Time: 9, Kind: core.RequestArrival, Request: r}); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("request on platform 7: want ErrUnknownPlatform, got %v", err)
+	}
+	w := &core.Worker{ID: 1, Arrival: 9, Radius: 1, Platform: 0}
+	if _, err := eng.Process(core.Event{Time: 9, Kind: core.WorkerArrival, Worker: w}); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("worker on platform 0: want ErrUnknownPlatform, got %v", err)
+	}
+	if _, err := eng.Process(core.Event{Time: 4, Kind: core.WorkerArrival, Worker: nil}); err == nil {
+		t.Fatal("nil worker payload accepted")
+	}
+	// The rejected events above must not have advanced the clock: an
+	// earlier valid arrival still goes through.
+	w2 := &core.Worker{ID: 2, Arrival: 4, Radius: 1, Platform: 1}
+	if _, err := eng.Process(core.Event{Time: 4, Kind: core.WorkerArrival, Worker: w2}); err != nil {
+		t.Fatalf("valid worker after rejections: %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/pprof"
 	"sync/atomic"
@@ -268,11 +269,40 @@ type runState struct {
 	matchers map[core.PlatformID]online.Matcher
 	labels   map[core.PlatformID]string
 	res      *Result
+	// windowed lists the platforms whose matcher defers decisions into
+	// virtual-time windows (BatchCOM), in ascending pid order — the tie
+	// order when several windows fall due at the same virtual time.
+	// Empty for the greedy matchers, in which case settleDue degenerates
+	// to the plain recycle flush.
+	windowed []windowedEntry
+	// onFlush, when non-nil, receives every window-flushed decision as
+	// it is folded (the serving layer's hook for answering deferred
+	// requests). Never called for immediate (non-deferred) decisions.
+	onFlush func(RequestDecision)
 	// nextID allocates IDs for recycled workers. Sequentially it counts
 	// up from maxWorkerID+1 in event order exactly as before; in
 	// parallel the IDs are unique but their platform assignment depends
 	// on scheduling.
 	nextID atomic.Int64
+}
+
+// windowedEntry pairs a windowed matcher with its platform.
+type windowedEntry struct {
+	pid core.PlatformID
+	m   online.WindowedMatcher
+}
+
+// windowedFor returns the windowed-entry subset for one platform — what
+// a per-platform goroutine may drive under PlatformParallel, where
+// another platform's matcher must never be advanced from this
+// goroutine.
+func (s *runState) windowedFor(pid core.PlatformID) []windowedEntry {
+	for i := range s.windowed {
+		if s.windowed[i].pid == pid {
+			return s.windowed[i : i+1]
+		}
+	}
+	return nil
 }
 
 func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runState, error) {
@@ -321,6 +351,9 @@ func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) 
 			return nil, err
 		}
 		s.matchers[pid] = m
+		if wm, ok := m.(online.WindowedMatcher); ok {
+			s.windowed = append(s.windowed, windowedEntry{pid: pid, m: wm})
+		}
 		s.res.Platforms[pid] = &PlatformResult{
 			ID: pid, Name: m.Name(), Matching: core.NewMatching(),
 			Latency: stats.NewReservoir(0, cfg.Seed^int64(pid)),
@@ -397,6 +430,13 @@ func (s *runState) handleRequest(e core.Event) (online.Decision, *core.Worker, e
 	start := time.Now()
 	d := m.RequestArrives(r)
 	el := time.Since(start)
+	if d.Deferred {
+		// A windowed matcher buffered the request; nothing is decided
+		// yet. Stats, latency and the metrics funnel are all observed at
+		// flush time (foldWindow), so folding the placeholder here would
+		// double-count the request.
+		return d, nil, nil
+	}
 	pr.ResponseTotal += el
 	if el > pr.ResponseMax {
 		pr.ResponseMax = el
@@ -447,15 +487,121 @@ func (s *runState) handleRequest(e core.Event) (online.Decision, *core.Worker, e
 	}, nil
 }
 
-// consume drives one event sequence to completion: recycled workers due
-// before each event are delivered first, then the event itself. At end
-// of stream the pending recycle heap is flushed so every completed
-// service counts as a re-arrival even when it falls after the last
-// event (previously those workers were silently dropped and Recycled
-// undercounted). The returned recycled count covers this consumer only;
-// a cancellation error wraps ctx.Err() and is formatted without the
-// "platform:" prefix so callers can add run-level context.
-func (s *runState) consume(ctx context.Context, events []core.Event, total int) (recycled int, err error) {
+// settleDue settles everything due at or before bound, in virtual-time
+// order: recycled workers re-join their waiting lists and windowed
+// matchers flush their open windows, interleaved by due time (a recycled
+// worker beats a window flushing at the same tick — it was already
+// waiting when the window closed; equal window dues flush in ascending
+// pid order, the wins slice order). Window flushes can mint recycled
+// workers whose re-arrival is still within bound, so the loop keeps
+// settling until nothing is due. With no windowed matchers this is
+// exactly the old recycle-flush loop.
+func (s *runState) settleDue(recycle *recycleHeap, recycled *int, bound core.Time, wins []windowedEntry) error {
+	for {
+		recDue := len(*recycle) > 0 && (*recycle)[0].Arrival <= bound
+		winIdx := -1
+		var winAt core.Time
+		for i := range wins {
+			if t, open := wins[i].m.NextFlush(); open && t <= bound && (winIdx < 0 || t < winAt) {
+				winIdx, winAt = i, t
+			}
+		}
+		switch {
+		case !recDue && winIdx < 0:
+			return nil
+		case recDue && (winIdx < 0 || (*recycle)[0].Arrival <= winAt):
+			w := heap.Pop(recycle).(*core.Worker)
+			if err := s.deliver(w); err != nil {
+				return err
+			}
+			*recycled++
+		default:
+			we := wins[winIdx]
+			start := time.Now()
+			wds := we.m.Advance(winAt)
+			el := time.Since(start)
+			if err := s.foldWindow(we.pid, wds, el, recycle); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// foldWindow folds one window flush's decisions into results, metrics
+// and the recycle heap — the flush-time counterpart of handleRequest's
+// per-arrival bookkeeping. The flush's wall-clock cost is attributed
+// evenly across its decisions so latency aggregates stay comparable
+// with the greedy matchers' per-request observations.
+func (s *runState) foldWindow(pid core.PlatformID, wds []online.WindowDecision, el time.Duration, recycle *recycleHeap) error {
+	if len(wds) == 0 {
+		return nil
+	}
+	pr := s.res.Platforms[pid]
+	pr.ResponseTotal += el
+	if el > pr.ResponseMax {
+		pr.ResponseMax = el
+	}
+	share := el / time.Duration(len(wds))
+	for i := range wds {
+		wd := &wds[i]
+		d := wd.Decision
+		pr.Latency.Observe(share)
+		pr.Stats.Observe(d)
+		if mc := s.cfg.Metrics; mc != nil {
+			mc.ObserveLatency(s.labels[pid], share)
+			mc.AddProbes(d.Probes)
+			mc.AddClaimRetries(d.ClaimRetries)
+			if d.CoopAttempted {
+				mc.CoopAttempt()
+			}
+			switch {
+			case d.Served && d.Assignment.Outer:
+				mc.MatchOuter()
+			case d.Served:
+				mc.MatchInner()
+			default:
+				mc.Reject()
+			}
+		}
+		if d.Served {
+			s.hub.WorkerAssigned(d.Assignment.Worker.ID)
+			if err := pr.Matching.Add(d.Assignment); err != nil {
+				return fmt.Errorf("platform %d: %w", pid, err)
+			}
+			if s.cfg.ServiceTicks > 0 {
+				w := d.Assignment.Worker
+				earned := d.Assignment.Request.Value
+				if d.Assignment.Outer {
+					earned = d.Assignment.Payment
+				}
+				heap.Push(recycle, &core.Worker{
+					ID:       s.nextID.Add(1),
+					Arrival:  wd.At + s.cfg.ServiceTicks,
+					Loc:      d.Assignment.Request.Loc,
+					Radius:   w.Radius,
+					Platform: w.Platform,
+					History:  append(append([]float64(nil), w.History...), earned),
+				})
+			}
+		}
+		if s.onFlush != nil {
+			s.onFlush(requestDecisionOf(wd.Request, d, wd.At))
+		}
+	}
+	return nil
+}
+
+// consume drives one event sequence to completion: recycled workers and
+// window flushes due before each event are settled first, then the
+// event itself. At end of stream everything still pending — recycled
+// workers after the last event, the final open window — is settled so
+// every completed service counts as a re-arrival and every buffered
+// request gets its decision. wins is the subset of windowed matchers
+// this consumer drives (all of them sequentially; one per goroutine
+// under PlatformParallel). The returned recycled count covers this
+// consumer only; a cancellation error wraps ctx.Err() and is formatted
+// without the "platform:" prefix so callers can add run-level context.
+func (s *runState) consume(ctx context.Context, events []core.Event, total int, wins []windowedEntry) (recycled int, err error) {
 	var recycle recycleHeap
 	for i, e := range events {
 		if i&cancelCheckMask == 0 {
@@ -463,13 +609,8 @@ func (s *runState) consume(ctx context.Context, events []core.Event, total int) 
 				return recycled, fmt.Errorf("run stopped after %d of %d events: %w", i, total, cerr)
 			}
 		}
-		// Flush recycled workers due before this event.
-		for len(recycle) > 0 && recycle[0].Arrival <= e.Time {
-			w := heap.Pop(&recycle).(*core.Worker)
-			if err := s.deliver(w); err != nil {
-				return recycled, err
-			}
-			recycled++
+		if err := s.settleDue(&recycle, &recycled, e.Time, wins); err != nil {
+			return recycled, err
 		}
 		switch e.Kind {
 		case core.WorkerArrival:
@@ -486,12 +627,8 @@ func (s *runState) consume(ctx context.Context, events []core.Event, total int) 
 			}
 		}
 	}
-	for len(recycle) > 0 {
-		w := heap.Pop(&recycle).(*core.Worker)
-		if err := s.deliver(w); err != nil {
-			return recycled, err
-		}
-		recycled++
+	if err := s.settleDue(&recycle, &recycled, core.Time(math.MaxInt64), wins); err != nil {
+		return recycled, err
 	}
 	return recycled, nil
 }
@@ -500,7 +637,7 @@ func (s *runState) consume(ctx context.Context, events []core.Event, total int) 
 // platforms' events interleave in stream order on one goroutine, and the
 // result is a pure function of (stream, factory, Seed).
 func (s *runState) runSequential(ctx context.Context) (*Result, error) {
-	recycled, err := s.consume(ctx, s.stream.Events(), s.stream.Len())
+	recycled, err := s.consume(ctx, s.stream.Events(), s.stream.Len(), s.windowed)
 	s.res.Recycled = recycled
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {

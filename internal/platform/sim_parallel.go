@@ -36,7 +36,7 @@ func (s *runState) runParallel(ctx context.Context) (*Result, error) {
 		wg.Add(1)
 		go func(i int, pid core.PlatformID, sub *core.Stream) {
 			defer wg.Done()
-			rec, err := s.consume(ctx, sub.Events(), sub.Len())
+			rec, err := s.consume(ctx, sub.Events(), sub.Len(), s.windowedFor(pid))
 			outs[i] = outcome{recycled: rec, err: err}
 			if err != nil {
 				cancel()

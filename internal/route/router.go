@@ -374,13 +374,15 @@ func (r *Router) refuse(kind core.EventKind, owner *shard, out *[]byte) {
 
 // retryHintMs is the router-originated backoff hint: a couple of probe
 // periods, floored at 100ms — roughly when a recovered shard would be
-// re-admitted.
+// re-admitted. Clamped through the shared wire helper so a router hint
+// obeys the same [1ms, 30s] bounds, and the same body/header
+// precedence, as a shard-originated one (see serve/admission.go).
 func (r *Router) retryHintMs() int64 {
 	hint := 2 * r.opts.ProbeInterval
 	if hint < 100*time.Millisecond {
 		hint = 100 * time.Millisecond
 	}
-	return hint.Milliseconds()
+	return serve.RetryAfterWireMs(hint)
 }
 
 // forwardGroup posts one shard's sub-batch and scatters the per-line
@@ -771,8 +773,11 @@ func (r *Router) reply(w http.ResponseWriter, batch bool, outs [][]byte) {
 			outs[0] = encodeDecision(out)
 		}
 		if out.RetryAfterMs > 0 {
-			secs := (out.RetryAfterMs + 999) / 1000
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			// The body hint is authoritative; the header is the same hint
+			// rounded up via the shared helper, so the router's Retry-After
+			// can never promise a shorter wait than retry_after_ms.
+			w.Header().Set("Retry-After",
+				strconv.FormatInt(serve.RetryAfterHeaderSeconds(out.RetryAfterMs), 10))
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(serve.HTTPStatus(out.Status))

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -419,5 +420,76 @@ func TestMaxInflightBounds(t *testing.T) {
 	var slow serve.WireDecision
 	if err := json.Unmarshal([]byte(strings.TrimSpace(<-first)), &slow); err != nil || slow.Status != serve.StatusOK {
 		t.Fatalf("slow call: %+v (%v)", slow, err)
+	}
+}
+
+// TestFailoverRetryHintPrecedence is the retry-hint regression: with
+// -failover, a cell whose owner is breaker-open and has no eligible
+// fallback is refused locally by the router, and that refusal must
+// carry BOTH backoff hints with the precedence documented in
+// serve/admission.go — the body retry_after_ms is authoritative and
+// the Retry-After header is the same hint rounded up to whole seconds,
+// so a header-driven client never backs off shorter than a body-driven
+// one.
+func TestFailoverRetryHintPrecedence(t *testing.T) {
+	dead := newFakeShard(t, "s1")
+	dead.srv.Close()
+	dead.healthy.Store(false)
+	r := newTestRouter(t, Options{Failover: true}, dead)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := r.Shard("s1")
+		if st.Breaker == "open" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened on the dead owner: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/requests",
+		strings.NewReader(lineAt(geo.Point{X: 0.5, Y: 0.5})))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("refusal: HTTP %d, want 503", rec.Code)
+	}
+
+	var d serve.WireDecision
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("refusal body: %v: %s", err, rec.Body.String())
+	}
+	if d.Status != serve.StatusUnavailable {
+		t.Fatalf("refusal status: %+v", d)
+	}
+	if d.RetryAfterMs < 1 || d.RetryAfterMs > 30_000 {
+		t.Fatalf("retry_after_ms %d outside the wire clamp [1ms, 30s]", d.RetryAfterMs)
+	}
+	hdr := rec.Header().Get("Retry-After")
+	if hdr == "" {
+		t.Fatal("refusal without Retry-After header")
+	}
+	secs, err := strconv.ParseInt(hdr, 10, 64)
+	if err != nil {
+		t.Fatalf("Retry-After %q: %v", hdr, err)
+	}
+	if want := serve.RetryAfterHeaderSeconds(d.RetryAfterMs); secs != want {
+		t.Fatalf("Retry-After %d disagrees with retry_after_ms %d (want %d s)",
+			secs, d.RetryAfterMs, want)
+	}
+	if secs*1000 < d.RetryAfterMs {
+		t.Fatalf("header promises a shorter wait (%d s) than the body (%d ms)", secs, d.RetryAfterMs)
+	}
+}
+
+// TestRetryHintWireClamp: a router hint derived from a huge probe
+// interval must still respect the shared [1ms, 30s] wire clamp.
+func TestRetryHintWireClamp(t *testing.T) {
+	r := &Router{opts: Options{ProbeInterval: time.Minute}}
+	if got := r.retryHintMs(); got != 30_000 {
+		t.Fatalf("retryHintMs with 1m probes: %d, want 30000", got)
 	}
 }

@@ -55,15 +55,19 @@ func (b *tokenBucket) take() (bool, time.Duration) {
 }
 
 // A shed response carries its backoff hint twice, with a defined
-// precedence: the body field retry_after_ms (retryAfterMs) is
+// precedence: the body field retry_after_ms (RetryAfterWireMs) is
 // authoritative — millisecond precision, what comload sleeps on —
-// while the Retry-After header (retryAfterSeconds) is the coarse
+// while the Retry-After header (RetryAfterHeaderSeconds) is the coarse
 // fallback for plain HTTP clients, the same hint rounded up to whole
 // seconds so header-driven clients never back off shorter than
-// body-driven ones.
+// body-driven ones. The helpers are exported because every hop that
+// relays a backpressure decision (the shard router included) must
+// derive both hints the same way, or a client could read a shorter
+// wait from one field than the other.
 
-// retryAfterMs clamps a retry hint into [1ms, 30s] for the wire.
-func retryAfterMs(d time.Duration) int64 {
+// RetryAfterWireMs clamps a retry hint into [1ms, 30s] for the
+// retry_after_ms body field.
+func RetryAfterWireMs(d time.Duration) int64 {
 	ms := d.Milliseconds()
 	if ms < 1 {
 		ms = 1
@@ -74,10 +78,11 @@ func retryAfterMs(d time.Duration) int64 {
 	return ms
 }
 
-// retryAfterSeconds renders the Retry-After header (integer seconds,
-// at least 1, per RFC 9110).
-func retryAfterSeconds(d time.Duration) int64 {
-	s := int64((d + time.Second - 1) / time.Second)
+// RetryAfterHeaderSeconds renders the Retry-After header for a body
+// hint of ms milliseconds: rounded up to integer seconds, at least 1,
+// per RFC 9110.
+func RetryAfterHeaderSeconds(ms int64) int64 {
+	s := (ms + 999) / 1000
 	if s < 1 {
 		s = 1
 	}

@@ -85,6 +85,30 @@ func (s *Server) recover() error {
 	// trivially verified: its digest is the zero counters.
 	verified := snap == nil || snap.Applied == 0
 	err = l.Range(func(i int64, p []byte) error {
+		if wal.IsTick(p) {
+			// A logged virtual-time tick: re-advance the clock, which
+			// re-flushes exactly the windows the live server flushed at this
+			// time. Requests buffered after the last logged tick re-buffer —
+			// the open-window re-buffer semantics documented on Close.
+			t, derr := wal.DecodeTick(p)
+			if derr != nil {
+				return fmt.Errorf("record %d: %w", i, derr)
+			}
+			s.applied++
+			if aerr := s.eng.AdvanceTime(t); aerr != nil {
+				s.ctr.engineErrors.Add(1)
+			}
+			if int64(t) > lastTime {
+				lastTime = int64(t)
+			}
+			if snap != nil && s.applied == snap.Applied {
+				if derr := s.checkSnapshotDigest(snap); derr != nil {
+					return derr
+				}
+				verified = true
+			}
+			return nil
+		}
 		ev, seq, derr := wal.DecodeEvent(p)
 		if derr != nil {
 			return fmt.Errorf("record %d: %w", i, derr)
@@ -177,6 +201,10 @@ func (s *Server) checkSnapshotConfig(snap *wal.Snapshot) error {
 		return fmt.Errorf("serve: wal recovery: snapshot coop-disabled %v, server %v", snap.DisableCoop, s.opts.DisableCoop)
 	case snap.ReplayEvents != int64(len(s.replayEvs)):
 		return fmt.Errorf("serve: wal recovery: snapshot recorded stream of %d events, server replays %d", snap.ReplayEvents, len(s.replayEvs))
+	case snap.Window != int64(s.opts.Window):
+		return fmt.Errorf("serve: wal recovery: snapshot window %d, server %d", snap.Window, s.opts.Window)
+	case snap.BatchDeadline != int64(s.opts.BatchDeadline):
+		return fmt.Errorf("serve: wal recovery: snapshot batch-deadline %d, server %d", snap.BatchDeadline, s.opts.BatchDeadline)
 	}
 	return nil
 }
@@ -229,6 +257,18 @@ func (s *Server) logEvent(ev core.Event, seq int) error {
 	return nil
 }
 
+// logTick appends a virtual-time tick record — write-ahead of the
+// window flush it is about to trigger, same contract as logEvent.
+// Sequencer goroutine only.
+func (s *Server) logTick(t core.Time) error {
+	s.walBuf = wal.AppendTick(s.walBuf[:0], t)
+	if err := s.wal.Append(s.walBuf); err != nil {
+		return err
+	}
+	s.applied++
+	return nil
+}
+
 // maybeSnapshot writes a checkpoint manifest every SnapshotEvery
 // applied events. Sequencer goroutine only.
 func (s *Server) maybeSnapshot() {
@@ -250,19 +290,21 @@ func (s *Server) writeSnapshot() error {
 	rev := s.ctr.revenue
 	s.ctr.revenueMu.Unlock()
 	sn := &wal.Snapshot{
-		Version:      1,
-		Applied:      s.applied,
-		VLast:        s.vlast,
-		Cursor:       int64(s.cursor),
-		RecycleBase:  s.recycleBase,
-		Algorithm:    s.opts.Algorithm,
-		Seed:         s.opts.Seed,
-		ServiceTicks: int64(s.opts.ServiceTicks),
-		DisableCoop:  s.opts.DisableCoop,
-		ReplayEvents: int64(len(s.replayEvs)),
-		Served:       s.ctr.served.Load(),
-		Matched:      s.ctr.matched.Load(),
-		RevenueBits:  math.Float64bits(rev),
+		Version:       1,
+		Applied:       s.applied,
+		VLast:         s.vlast,
+		Cursor:        int64(s.cursor),
+		RecycleBase:   s.recycleBase,
+		Algorithm:     s.opts.Algorithm,
+		Seed:          s.opts.Seed,
+		ServiceTicks:  int64(s.opts.ServiceTicks),
+		DisableCoop:   s.opts.DisableCoop,
+		ReplayEvents:  int64(len(s.replayEvs)),
+		Window:        int64(s.opts.Window),
+		BatchDeadline: int64(s.opts.BatchDeadline),
+		Served:        s.ctr.served.Load(),
+		Matched:       s.ctr.matched.Load(),
+		RevenueBits:   math.Float64bits(rev),
 	}
 	if err := wal.WriteSnapshot(s.wal.Dir(), sn); err != nil {
 		return err

@@ -87,6 +87,17 @@ type Options struct {
 	ServiceTicks core.Time
 	DisableCoop  bool
 	Faults       *fault.Plan
+	// Window configures the windowed algorithms (BatchCOM): arrivals
+	// buffer for this many virtual ticks (one tick is one wall-clock
+	// millisecond in live mode) and flush as a batch matching.
+	// Non-positive selects platform.DefaultBatchWindow when the
+	// algorithm is windowed; ignored by the greedy algorithms.
+	Window core.Time
+	// BatchDeadline, when positive, caps how long a windowed algorithm
+	// may hold any single request, pulling the window flush forward.
+	// Distinct from Deadline below, which bounds the HTTP handler's
+	// wait, not the engine's buffering.
+	BatchDeadline core.Time
 	// Metrics receives the engine's funnel counters and latency
 	// reservoirs; created internally when nil (it backs /v1/metrics).
 	Metrics *metrics.Collector
@@ -139,6 +150,12 @@ type ingest struct {
 	ev   core.Event
 	seq  int // replay order index; -1 in live mode
 	done chan WireDecision
+	// kind/id mirror ev's wire identity, frozen at admission. After the
+	// item is enqueued, ev belongs to the sequencer (stamp rewrites its
+	// time in place), so a handler that outlives its deadline must
+	// build the 504 line from these copies, never from ev.
+	kind core.EventKind
+	id   int64
 }
 
 // Server is the live matching service. Create with New (which starts
@@ -153,6 +170,14 @@ type Server struct {
 	queue  chan *ingest
 	qmu    sync.RWMutex // guards queue close vs concurrent enqueues
 	bucket *tokenBucket
+
+	// platformOK is the engine's platform set; live admission rejects
+	// events naming any other platform before they can reach the WAL or
+	// the sequencer (an unguarded unknown ID is a poison event: logged,
+	// it would fail recovery on every restart). platformList is the
+	// ready-made error text.
+	platformOK   map[core.PlatformID]bool
+	platformList string
 
 	draining atomic.Bool
 	// Readiness (liveness vs readiness split): recovering is true while
@@ -178,6 +203,13 @@ type Server struct {
 	delivered []atomic.Bool
 	cursor    int // sequencer-owned recorded-order cursor (replay mode)
 
+	// waiters maps a deferred (window-buffered) request ID to the ingest
+	// whose decision is still owed: registered by process when the engine
+	// defers, answered by onWindowFlush when the window flushes. Owned by
+	// the sequencer goroutine — flushes only happen inside engine calls
+	// made by the sequencer or the pre-sequencer recovery re-drive.
+	waiters map[int64]*ingest
+
 	// durability (nil wal == zero-durability path, bit-identical to the
 	// pre-WAL server)
 	wal          *wal.Log
@@ -202,6 +234,7 @@ type Server struct {
 // /v1/metrics: admission outcomes and decision totals.
 type counters struct {
 	accepted     atomic.Int64 // events admitted to the queue
+	applied      atomic.Int64 // events the engine has processed
 	requestsSeen atomic.Int64
 	workersSeen  atomic.Int64
 	served       atomic.Int64 // request decisions returned
@@ -253,7 +286,15 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: %s needs MaxValue (the a-priori max request value) in live mode", opts.Algorithm)
 		}
 	}
-	factory, err := platform.FactoryFor(opts.Algorithm, maxV)
+	if opts.Algorithm == platform.AlgBatchCOM && opts.Window <= 0 {
+		// Normalize before the snapshot config fingerprint is taken, so a
+		// server restarted with an explicit DefaultBatchWindow still
+		// matches a log written with the implicit default.
+		opts.Window = platform.DefaultBatchWindow
+	}
+	factory, err := platform.FactoryConfigured(opts.Algorithm, platform.AlgConfig{
+		MaxValue: maxV, Window: opts.Window, Deadline: opts.BatchDeadline,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -280,11 +321,22 @@ func New(opts Options) (*Server, error) {
 		recoverDone: make(chan struct{}),
 		started:     time.Now(),
 	}
+	s.platformOK = make(map[core.PlatformID]bool, len(pids))
+	for _, pid := range pids {
+		s.platformOK[pid] = true
+	}
+	s.platformList = fmt.Sprint(s.Platforms())
 	s.nextReqID.Store(liveIDBase)
 	s.nextWorkerID.Store(liveIDBase)
 	if opts.ResumeVTime > 0 {
 		s.vbase, s.vlast = opts.ResumeVTime, opts.ResumeVTime
 	}
+	s.waiters = make(map[int64]*ingest)
+	// The flush handler must be registered before any recovery re-drive:
+	// recovered tick records flush windows, and those flushes must book
+	// exactly the counters they booked live or the snapshot digest check
+	// would fail.
+	eng.SetDecisionHandler(s.onWindowFlush)
 
 	if opts.Replay != nil {
 		evs := opts.Replay.Events()
@@ -403,6 +455,15 @@ func (s *Server) BeginDrain() {
 // the sequencer to stop, and finishes the engine, returning the final
 // accumulated Result. Safe to call more than once; later calls return
 // the cached result.
+//
+// Windowed algorithms: a window still open at close is flushed by the
+// engine finish, so its decisions count in the returned Result — but
+// that flush happens after the final checkpoint is written and is
+// never logged. Recovery therefore RE-BUFFERS such requests: the log
+// re-drive rebuilds the open window exactly as it stood, the digest
+// verifies against the pre-flush counters, and the recovered window
+// flushes on the next tick or arrival. The close-time flush is an
+// artifact of finishing; the durable truth is the buffered window.
 func (s *Server) Close() (*platform.Result, error) {
 	s.BeginDrain()
 	<-s.seqDone
@@ -460,7 +521,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, kind core.
 	if !batch {
 		out := outs[0]
 		if out.RetryAfterMs > 0 {
-			w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(time.Duration(out.RetryAfterMs)*time.Millisecond), 10))
+			w.Header().Set("Retry-After", strconv.FormatInt(RetryAfterHeaderSeconds(out.RetryAfterMs), 10))
 		}
 		writeJSONStatus(w, out.httpStatus(), out)
 		return
@@ -510,7 +571,10 @@ func (s *Server) collectDecisions(items []*ingest, outs []WireDecision) {
 		case outs[i] = <-it.done:
 		default:
 			s.ctr.deadlineMiss.Add(1)
-			outs[i] = WireDecision{Status: StatusDeadline, Kind: kindName(it.ev.Kind), ID: eventID(it.ev),
+			// it.ev is the sequencer's now (stamp may be rewriting its
+			// time concurrently); the frozen admission-time copies carry
+			// the identity this line needs.
+			outs[i] = WireDecision{Status: StatusDeadline, Kind: kindName(it.kind), ID: it.id,
 				Error: "decision did not return within the deadline; the event is still sequenced"}
 		}
 	}
@@ -530,7 +594,7 @@ func (s *Server) admit(kind core.EventKind, line []byte) (*ingest, WireDecision)
 	// and the cursor, and nothing else may touch them.
 	if s.recovering.Load() {
 		return nil, WireDecision{Status: StatusRecovering, Kind: kindName(kind), ID: we.ID,
-			RetryAfterMs: retryAfterMs(recoverRetryHint), Error: "wal recovery in progress"}
+			RetryAfterMs: RetryAfterWireMs(recoverRetryHint), Error: "wal recovery in progress"}
 	}
 	if s.recFailed.Load() {
 		return nil, WireDecision{Status: StatusUnavailable, Kind: kindName(kind), ID: we.ID,
@@ -566,14 +630,20 @@ func (s *Server) admit(kind core.EventKind, line []byte) (*ingest, WireDecision)
 			s.ctr.badEvents.Add(1)
 			return nil, WireDecision{Status: StatusError, Kind: kindName(kind), ID: we.ID, Error: err.Error()}
 		}
+		if !s.platformOK[core.PlatformID(we.Platform)] {
+			s.ctr.badEvents.Add(1)
+			return nil, WireDecision{Status: StatusError, Kind: kindName(kind), ID: we.ID,
+				Error: fmt.Sprintf("unknown platform %d; this server serves %s", we.Platform, s.platformList)}
+		}
 		s.assignID(ev)
 		it.ev = ev
 	}
+	it.kind, it.id = it.ev.Kind, eventID(it.ev)
 
 	if ok, wait := s.bucket.take(); !ok {
 		s.ctr.shedRate.Add(1)
 		return nil, WireDecision{Status: StatusShed, Kind: kindName(kind), ID: we.ID,
-			RetryAfterMs: retryAfterMs(wait), Error: "rate limit"}
+			RetryAfterMs: RetryAfterWireMs(wait), Error: "rate limit"}
 	}
 
 	s.qmu.RLock()
@@ -596,7 +666,7 @@ func (s *Server) admit(kind core.EventKind, line []byte) (*ingest, WireDecision)
 	default:
 		s.ctr.shedQueue.Add(1)
 		return nil, WireDecision{Status: StatusShed, Kind: kindName(kind), ID: we.ID,
-			RetryAfterMs: retryAfterMs(s.queueRetryHint()), Error: "ingest queue full"}
+			RetryAfterMs: RetryAfterWireMs(s.queueRetryHint()), Error: "ingest queue full"}
 	}
 }
 
@@ -637,6 +707,7 @@ type ServerCounters struct {
 	QueueLen      int     `json:"queue_len"`
 	QueueCap      int     `json:"queue_cap"`
 	Accepted      int64   `json:"accepted"`
+	Applied       int64   `json:"applied"`
 	RequestsSeen  int64   `json:"requests_seen"`
 	WorkersSeen   int64   `json:"workers_seen"`
 	Served        int64   `json:"served"`
@@ -675,6 +746,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			QueueLen:      len(s.queue),
 			QueueCap:      s.opts.QueueCap,
 			Accepted:      s.ctr.accepted.Load(),
+			Applied:       s.ctr.applied.Load(),
 			RequestsSeen:  s.ctr.requestsSeen.Load(),
 			WorkersSeen:   s.ctr.workersSeen.Load(),
 			Served:        s.ctr.served.Load(),

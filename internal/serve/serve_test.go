@@ -119,6 +119,41 @@ func TestBadInputRejected(t *testing.T) {
 	}
 }
 
+// An event naming a platform the engine was not built with must be a
+// 400 at admission, not a sequencer panic (and in WAL mode not a
+// logged poison event): before the guard, one such POST crashed the
+// whole server.
+func TestUnknownPlatformRejected(t *testing.T) {
+	srv, ts := startServer(t, Options{Algorithm: platform.AlgBatchCOM, Seed: 1, Window: 5})
+	client := ts.Client()
+
+	for name, tc := range map[string]struct {
+		url, body string
+	}{
+		"request platform 0":  {"/v1/requests", `{"id":1,"x":0.5,"y":0.5,"platform":0,"value":5}`},
+		"request platform 99": {"/v1/requests", `{"id":2,"x":0.5,"y":0.5,"platform":99,"value":5}`},
+		"worker platform 0":   {"/v1/workers", `{"id":1,"x":0.5,"y":0.5,"platform":0,"radius":0.4}`},
+	} {
+		resp, d := postJSON(t, client, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != http.StatusBadRequest || d.Status != StatusError {
+			t.Errorf("%s: want 400/error, got %d/%s", name, resp.StatusCode, d.Status)
+		}
+		if !strings.Contains(d.Error, "unknown platform") {
+			t.Errorf("%s: error %q does not name the cause", name, d.Error)
+		}
+	}
+
+	// The server must still be alive and matching on its real platforms.
+	resp, d := postJSON(t, client, ts.URL+"/v1/workers",
+		`{"id":3,"x":0.5,"y":0.5,"platform":1,"radius":0.4}`)
+	if resp.StatusCode != http.StatusOK || d.Status != StatusOK {
+		t.Fatalf("valid worker after rejections: code %d, %+v", resp.StatusCode, d)
+	}
+	if got := srv.Snapshot().Server.BadEvents; got != 3 {
+		t.Fatalf("bad-event counter %d, want 3", got)
+	}
+}
+
 func TestRateLimitSheds(t *testing.T) {
 	srv, ts := startServer(t, Options{Seed: 1, Rate: 0.001, Burst: 2})
 	client := ts.Client()

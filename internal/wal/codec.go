@@ -55,6 +55,34 @@ func AppendEvent(buf []byte, ev core.Event, seq int64) ([]byte, error) {
 // kind-specific fields: kind + seq + time + id + platform + x + y.
 const eventFixed = 1 + 8 + 8 + 8 + 4 + 8 + 8
 
+// tickKind is the record-kind byte of a virtual-time tick record. It
+// lives outside the core.EventKind space (WorkerArrival=1,
+// RequestArrival=2) so a tick can never be confused with an arrival.
+// Tick records exist for the windowed matchers: the serving sequencer
+// logs one before advancing the engine's clock past a window's due
+// time, so recovery replays window flushes at exactly the recorded
+// virtual times and the engine state (and snapshot digest) reproduces.
+const tickKind byte = 0xFF
+
+// AppendTick encodes a virtual-time tick record into buf:
+//
+//	[1B 0xFF][8B time]
+func AppendTick(buf []byte, t core.Time) []byte {
+	buf = append(buf, tickKind)
+	return binary.LittleEndian.AppendUint64(buf, uint64(t))
+}
+
+// IsTick reports whether the record payload is a tick record.
+func IsTick(p []byte) bool { return len(p) > 0 && p[0] == tickKind }
+
+// DecodeTick decodes a tick record's virtual time.
+func DecodeTick(p []byte) (core.Time, error) {
+	if len(p) != 9 || p[0] != tickKind {
+		return 0, fmt.Errorf("wal: malformed tick record (%d bytes)", len(p))
+	}
+	return core.Time(binary.LittleEndian.Uint64(p[1:9])), nil
+}
+
 // DecodeEvent decodes one record payload back into a domain event and
 // its replay sequence index.
 func DecodeEvent(p []byte) (core.Event, int64, error) {

@@ -44,6 +44,13 @@ type Snapshot struct {
 	ServiceTicks int64  `json:"service_ticks"`
 	DisableCoop  bool   `json:"disable_coop,omitempty"`
 	ReplayEvents int64  `json:"replay_events,omitempty"` // recorded stream length; 0 in live mode
+	// Window and BatchDeadline fingerprint the windowed-dispatch
+	// configuration (BatchCOM): a log of buffered windows replayed under
+	// a different window geometry would flush at different virtual times
+	// and fork the state. Zero for the greedy algorithms, so snapshots
+	// written before windowed dispatch existed keep verifying.
+	Window        int64 `json:"window,omitempty"`
+	BatchDeadline int64 `json:"batch_deadline,omitempty"`
 
 	// Digest of the serving counters after Applied records. RevenueBits
 	// is math.Float64bits of the accumulated revenue — compared bit for

@@ -28,15 +28,25 @@ set -e
 cd "$(dirname "$0")/.."
 
 BASELINE=${BASELINE:-BENCH_PR6.json}
-BENCHES=${BENCHES:-"TableV TableVI"}
+BENCHES=${BENCHES:-"TableV TableVI BatchWindow"}
 
-if [ ! -f "$BASELINE" ]; then
-    echo "bench-guard: baseline $BASELINE missing" >&2
-    exit 1
-fi
+# baseline_for BENCH: newer benchmarks were baselined in later PRs, so
+# each bench reads its own committed snapshot; everything without an
+# entry here falls back to $BASELINE.
+baseline_for() {
+    case "$1" in
+        BatchWindow) echo "BENCH_PR9.json" ;;
+        *) echo "$BASELINE" ;;
+    esac
+}
 
 status=0
 for BENCH in $BENCHES; do
+    base_file=$(baseline_for "$BENCH")
+    if [ ! -f "$base_file" ]; then
+        echo "bench-guard: baseline $base_file missing for $BENCH" >&2
+        exit 1
+    fi
     out=$(go test -run '^$' -bench "Benchmark${BENCH}\$" -benchmem -benchtime 1x .)
     echo "$out"
 
@@ -46,7 +56,7 @@ for BENCH in $BENCHES; do
     base=$(awk -v name="\"${BENCH}\"" '
         $1 == "\"name\":" && $2 == name"," { found = 1 }
         found && $1 == "\"allocs_per_op\":" { gsub(/[^0-9]/, "", $2); print $2; exit }
-    ' "$BASELINE")
+    ' "$base_file")
 
     if [ -z "$cur" ] || [ -z "$base" ]; then
         echo "bench-guard: could not parse allocs/op for $BENCH (current='$cur' baseline='$base')" >&2
