@@ -373,6 +373,31 @@ func TestDisabledTracerOverheadGuard(t *testing.T) {
 // per-window matching. Guarded by allocs/op against BENCH_PR9.json in
 // scripts/bench_guard.sh — the windowed hot path must not quietly start
 // allocating per buffered request.
+// BenchmarkShardedEngine drives the geo-sharded runtime (4 shards, the
+// async cross-shard claim protocol on every boundary request) over a
+// dense two-platform city through the public API. Guarded by
+// bench_guard.sh against BENCH_PR10.json on allocs/op.
+func BenchmarkShardedEngine(b *testing.B) {
+	cfg, err := workload.Synthetic(4500, 1000, 1.0, "real")
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := workload.Generate(cfg, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Option{WithSeed(benchSeed), WithShards(4)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateContext(context.Background(), stream, RamCOM, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TotalRevenue(), "rev")
+		b.ReportMetric(float64(res.TotalServed()), "served")
+	}
+}
+
 func BenchmarkBatchWindow(b *testing.B) {
 	cfg, err := workload.Synthetic(2500, 500, 1.0, "real")
 	if err != nil {

@@ -52,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, window, all)")
+		exp         = flag.String("exp", "all", "experiment id (tableV..tableVII, fig5a..fig5l, cr, ablations, roadnet, valuedist, platforms, variance, window, scaling, all)")
 		scale       = flag.Float64("scale", 0.05, "fraction of the paper's Table III dataset sizes for table experiments")
 		seed        = flag.Int64("seed", 42, "root random seed")
 		repeats     = flag.Int("repeats", 3, "seeds averaged per measurement")
@@ -70,6 +70,8 @@ func main() {
 		traceCap    = flag.Int("trace-cap", 0, "span ring capacity per platform (0 = default; oldest spans evicted once full; requires -trace)")
 		windowSpec  = flag.String("window", "", "comma-separated BatchCOM window lengths in virtual ticks for -exp window (empty = default sweep)")
 		batchDeadl  = flag.Int64("batch-deadline", 0, "per-request buffering cap in virtual ticks for -exp window (0 = window-boundary flushes only)")
+		shardsSpec  = flag.String("shards", "", "comma-separated shard counts for -exp scaling (empty = 1,2,4,8)")
+		citySpec    = flag.String("city", "", "comma-separated worker counts for -exp scaling cities; each city has 10x its workers in events (empty = 10000,100000)")
 	)
 	flag.Parse()
 	plan, err := validateFaultFlags(*faultsSpec, *faultSeed, *platpar)
@@ -91,7 +93,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, *faultSeed, windows, core.Time(*batchDeadl), runner); err != nil {
+	shardCounts, err := parseCounts("-shards", *shardsSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		os.Exit(2)
+	}
+	cityWorkers, err := parseCounts("-city", *citySpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *exp, *scale, *seed, *repeats, *cap, *csvOut, *plot, *faultSeed, windows, core.Time(*batchDeadl), shardCounts, cityWorkers, runner); err != nil {
 		if errors.Is(err, workload.ErrUnknownPreset) {
 			fmt.Fprintf(os.Stderr, "combench: %v\nrun 'combench -h' for usage\n", err)
 		} else {
@@ -225,7 +237,23 @@ func parseWindows(spec string, deadline int64) ([]core.Time, error) {
 	return out, nil
 }
 
-func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, faultSeed int64, windows []core.Time, batchDeadline core.Time, runner *experiments.Runner) error {
+// parseCounts parses a comma-separated list of positive integers.
+func parseCounts(name, spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("%s: %q is not a positive count", name, part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap float64, csvOut, plot bool, faultSeed int64, windows []core.Time, batchDeadline core.Time, shardCounts, cityWorkers []int, runner *experiments.Runner) error {
 	render := func(t *stats.Table) error {
 		var err error
 		if csvOut {
@@ -399,6 +427,20 @@ func run(w io.Writer, exp string, scale float64, seed int64, repeats int, cap fl
 			})
 			if err == nil {
 				err = render(res.Table())
+			}
+		case "scaling":
+			var res *experiments.ScalingResult
+			res, err = experiments.RunScaling(experiments.ScalingOptions{
+				Seed: seed, Shards: shardCounts, Workers: cityWorkers,
+			})
+			if err == nil {
+				err = render(res.Table())
+			}
+			if err == nil && !csvOut {
+				err = res.WriteNote(w)
+				if err == nil {
+					_, err = fmt.Fprintln(w)
+				}
 			}
 		default:
 			err = fmt.Errorf("unknown experiment %q", id)

@@ -13,7 +13,7 @@ import (
 func TestRunCollectsMetrics(t *testing.T) {
 	var buf bytes.Buffer
 	runner := &experiments.Runner{Parallelism: 1, Metrics: metrics.New()}
-	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, nil, 0, runner); err != nil {
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, nil, 0, nil, nil, runner); err != nil {
 		t.Fatal(err)
 	}
 	rep := runner.Metrics.Snapshot()
@@ -33,7 +33,7 @@ func TestRunCollectsMetrics(t *testing.T) {
 
 func TestRunSingleTable(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "tableVII", 0.003, 7, 1, 0, false, false, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -46,10 +46,10 @@ func TestRunSingleTable(t *testing.T) {
 
 func TestRunFigureSharesSweep(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, false, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5l", 0.01, 7, 1, 1.0, false, false, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +60,7 @@ func TestRunFigureSharesSweep(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 0.5, true, false, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "rad,TOTA,DemCOM,RamCOM") {
@@ -70,7 +70,7 @@ func TestRunCSVMode(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false, 0, nil, 0, experiments.Sequential()); err == nil {
+	if err := run(&buf, "tableIX", 0.01, 7, 1, 0, false, false, 0, nil, 0, nil, nil, experiments.Sequential()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -80,7 +80,7 @@ func TestRunCR(t *testing.T) {
 	// CROptions defaults are too heavy for a unit test; the cr path is
 	// covered via the experiments package tests. Here just ensure the
 	// ablations path wires through.
-	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "ablations", 0.01, 7, 1, 0, false, false, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "oracle") {
@@ -90,7 +90,7 @@ func TestRunCR(t *testing.T) {
 
 func TestRunPlotMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true, 0, nil, 0, experiments.Sequential()); err != nil {
+	if err := run(&buf, "fig5i", 0.01, 7, 1, 1.0, false, true, 0, nil, 0, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -120,7 +120,7 @@ func TestParseWindows(t *testing.T) {
 func TestRunWindowExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "window", 0.01, 7, 1, 0, false, false, 0,
-		[]core.Time{2}, 1, experiments.Sequential()); err != nil {
+		[]core.Time{2}, 1, nil, nil, experiments.Sequential()); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

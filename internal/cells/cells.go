@@ -1,0 +1,136 @@
+// Package cells is the single source of truth for cell→shard
+// ownership: the spatial-hash cell key (internal/index grid geometry)
+// and the rendezvous (highest-random-weight) hash that assigns each
+// cell to one shard of a named shard set.
+//
+// Both the fleet router (internal/route — which partitions arrival
+// events across comserve processes) and the geo-sharded matching
+// engine (internal/shard — which partitions matcher state across
+// goroutines) import this package, so the two layers can never
+// disagree about which shard owns a cell: a request routed to process
+// "s3" by the fleet lands on the in-process shard that owns the same
+// cells. A cross-package fuzz test (internal/cells/agree_test.go)
+// pins the agreement.
+package cells
+
+import (
+	"fmt"
+	"sort"
+
+	"crossmatch/internal/geo"
+	"crossmatch/internal/index"
+)
+
+// Key identifies one spatial-hash cell, the unit of shard ownership.
+type Key struct {
+	CX, CY int32
+}
+
+// Of returns the owning cell of a point under the shared grid
+// geometry (index.CellOf).
+func Of(p geo.Point, cellSize float64) Key {
+	cx, cy := index.CellOf(p, cellSize)
+	return Key{CX: cx, CY: cy}
+}
+
+// Weight is the rendezvous (highest-random-weight) score of a shard
+// for a cell: a 64-bit FNV-1a hash over the cell coordinates and the
+// shard name, passed through a murmur-style avalanche finalizer. The
+// finalizer matters: raw FNV-1a mixes the final input byte weakly, and
+// shard names that differ only in their last character ("s1".."s4" —
+// the natural naming) would make the rendezvous winner correlate with
+// a couple of hash bits, skewing ownership badly (one shard can end up
+// with half the cells). Everything here is fixed arithmetic, stable
+// across processes and platforms — the splitter↔router↔engine
+// agreement depends on that; speed is irrelevant at one hash per shard
+// per event.
+func Weight(c Key, shardName string) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, v := range []int32{c.CX, c.CY} {
+		u := uint32(v)
+		mix(byte(u))
+		mix(byte(u >> 8))
+		mix(byte(u >> 16))
+		mix(byte(u >> 24))
+	}
+	mix(0xfe) // domain separator between coordinates and name
+	for i := 0; i < len(shardName); i++ {
+		mix(shardName[i])
+	}
+	// fmix64 avalanche (MurmurHash3 finalizer constants).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Rank returns the shard names in descending rendezvous-weight order
+// for a cell: Rank(...)[0] is the owner, the rest the failover
+// preference chain. Adding or removing one shard moves only the cells
+// that hashed to it — the consistent-hashing property that keeps a
+// resize from reshuffling the whole fleet.
+func Rank(c Key, shardNames []string) []string {
+	out := append([]string(nil), shardNames...)
+	sort.SliceStable(out, func(i, j int) bool {
+		wi, wj := Weight(c, out[i]), Weight(c, out[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return out[i] < out[j] // total order even under hash ties
+	})
+	return out
+}
+
+// Owner returns the rendezvous owner of a cell.
+func Owner(c Key, shardNames []string) string {
+	if len(shardNames) == 0 {
+		return ""
+	}
+	best := shardNames[0]
+	bw := Weight(c, best)
+	for _, name := range shardNames[1:] {
+		if w := Weight(c, name); w > bw || (w == bw && name < best) {
+			best, bw = name, w
+		}
+	}
+	return best
+}
+
+// OwnerIndex returns the index into shardNames of the rendezvous
+// owner of a cell, or -1 for an empty shard set. The in-process
+// sharded engine keys its shards by index; the fleet router keys
+// them by name — both resolve through the same Weight, so
+// shardNames[OwnerIndex(c, shardNames)] == Owner(c, shardNames).
+func OwnerIndex(c Key, shardNames []string) int {
+	if len(shardNames) == 0 {
+		return -1
+	}
+	best := 0
+	bw := Weight(c, shardNames[0])
+	for i, name := range shardNames[1:] {
+		if w := Weight(c, name); w > bw || (w == bw && name < shardNames[best]) {
+			best, bw = i+1, w
+		}
+	}
+	return best
+}
+
+// Names returns the canonical shard names for an n-shard deployment:
+// "s1".."sN" — the naming every layer (route fleet manifests,
+// serve_smoke.sh, the in-process sharded engine) uses so that
+// ownership agrees by construction.
+func Names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i+1)
+	}
+	return out
+}

@@ -78,12 +78,22 @@ type Stream struct {
 // only serve requests arriving after them" with non-strict arrival) and
 // then by ID for determinism.
 func NewStream(events []Event) (*Stream, error) {
+	return NewStreamOwned(append([]Event(nil), events...))
+}
+
+// NewStreamOwned is NewStream taking ownership of the slice: events are
+// validated and sorted in place, with no defensive copy. For callers
+// that build the slice themselves and never touch it again — the
+// generators, chiefly — this halves the peak event memory of a
+// 10M-event scaling city. The (time, kind, ID) key is a total order
+// over any valid stream, so the in-place sort is deterministic.
+func NewStreamOwned(events []Event) (*Stream, error) {
 	for i := range events {
 		if err := events[i].Validate(); err != nil {
 			return nil, fmt.Errorf("event %d: %w", i, err)
 		}
 	}
-	s := &Stream{events: append([]Event(nil), events...)}
+	s := &Stream{events: events}
 	sort.SliceStable(s.events, func(i, j int) bool {
 		a, b := s.events[i], s.events[j]
 		if a.Time != b.Time {

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// TestRunScalingSmoke runs a miniature sweep end to end: every
+// (size, shards) cell present, events 10x workers, nonzero service, and
+// cross-shard borrows observed on the sharded cells.
+func TestRunScalingSmoke(t *testing.T) {
+	res, err := RunScaling(ScalingOptions{
+		Workers: []int{400},
+		Shards:  []int{1, 4},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Events != row.Workers*10 {
+			t.Errorf("shards=%d: %d events for %d workers, want 10x", row.Shards, row.Events, row.Workers)
+		}
+		if row.Served == 0 || row.Revenue <= 0 {
+			t.Errorf("shards=%d: empty result (%d served, revenue %v)", row.Shards, row.Served, row.Revenue)
+		}
+	}
+	if r1, ok := res.Row(400, 1); !ok || r1.Boundary != 0 {
+		t.Errorf("single-shard row should classify no boundaries: %+v ok=%v", r1, ok)
+	}
+	if r4, ok := res.Row(400, 4); !ok || r4.Boundary == 0 {
+		t.Errorf("4-shard row should classify boundaries: %+v ok=%v", r4, ok)
+	}
+	if res.Table() == nil {
+		t.Fatal("nil table")
+	}
+}

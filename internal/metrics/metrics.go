@@ -76,8 +76,58 @@ type Collector struct {
 	pricingScratchReuses    atomic.Int64
 	pricingScratchAllocs    atomic.Int64
 
+	// Sharded-engine counters (internal/shard + platform's sharded
+	// runtime); all stay zero on unsharded runs.
+	crossShardBorrows atomic.Int64
+	shardStalls       atomic.Int64
+
 	mu      sync.Mutex
 	latency map[string]*stats.Reservoir
+	shards  []ShardSnapshot
+}
+
+// ShardSnapshot is one shard's slice of a sharded engine's state: how
+// many events it applied, its live queue depth (zero for completed bulk
+// runs), the boundary-crossing events it owned, and its cross-shard
+// borrow outcomes. Folded into Report.Shards by Collector.RecordShards.
+type ShardSnapshot struct {
+	Shard          int   `json:"shard"`
+	Applied        int64 `json:"applied"`
+	QueueDepth     int64 `json:"queue_depth"`
+	BoundaryEvents int64 `json:"boundary_events"`
+	Borrows        int64 `json:"cross_shard_borrows"`
+	ClaimConflicts int64 `json:"cross_shard_claim_conflicts"`
+	Degraded       int64 `json:"degraded_boundary_events"`
+}
+
+// RecordShards stores the per-shard snapshot section the next Snapshot
+// call reports; each call replaces the previous set (the serving layer
+// refreshes it on every /v1/metrics scrape).
+func (c *Collector) RecordShards(shards []ShardSnapshot) {
+	if c == nil {
+		return
+	}
+	cp := append([]ShardSnapshot(nil), shards...)
+	c.mu.Lock()
+	c.shards = cp
+	c.mu.Unlock()
+}
+
+// CrossShardBorrow records a cooperative claim committed against a
+// worker owned by another shard of a geo-sharded engine — the commit
+// phase of the claim protocol succeeding across a shard boundary.
+func (c *Collector) CrossShardBorrow() {
+	if c != nil {
+		c.crossShardBorrows.Add(1)
+	}
+}
+
+// ShardStall records a sharded-engine gate wait that hit its wall-clock
+// watchdog and proceeded degraded.
+func (c *Collector) ShardStall() {
+	if c != nil {
+		c.shardStalls.Add(1)
+	}
 }
 
 // PricingStats is the pricing-quoter section of a Report: quote counts
@@ -420,6 +470,11 @@ type Counters struct {
 	RouteRetries   int64 `json:"route_retries"`
 	RouteHedges    int64 `json:"route_hedges"`
 	RouteFailovers int64 `json:"route_failovers"`
+	// Sharded-engine counters (all zero on unsharded runs): claims
+	// committed across shard boundaries and gate waits that degraded on
+	// the stall watchdog.
+	CrossShardBorrows int64 `json:"cross_shard_borrows"`
+	ShardStalls       int64 `json:"shard_stalls"`
 }
 
 // LatencySummary is one label's latency distribution in a Report.
@@ -440,6 +495,9 @@ type Report struct {
 	Counters  Counters         `json:"counters"`
 	Pricing   PricingStats     `json:"pricing"`
 	Latencies []LatencySummary `json:"latencies"`
+	// Shards is the per-shard section of a geo-sharded engine
+	// (RecordShards); empty on unsharded runs.
+	Shards []ShardSnapshot `json:"shards,omitempty"`
 }
 
 // Snapshot returns a consistent copy of the collector's state, latency
@@ -481,9 +539,15 @@ func (c *Collector) Snapshot() Report {
 		RouteRetries:   c.routeRetries.Load(),
 		RouteHedges:    c.routeHedges.Load(),
 		RouteFailovers: c.routeFailovers.Load(),
+
+		CrossShardBorrows: c.crossShardBorrows.Load(),
+		ShardStalls:       c.shardStalls.Load(),
 	}, Pricing: c.Pricing()}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	c.mu.Lock()
+	if len(c.shards) > 0 {
+		rep.Shards = append([]ShardSnapshot(nil), c.shards...)
+	}
 	for label, r := range c.latency {
 		// One sorted snapshot serves all three percentiles (Percentile
 		// re-sorts the reservoir sample on every call).

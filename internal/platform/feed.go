@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"crossmatch/internal/core"
+	"crossmatch/internal/metrics"
 	"crossmatch/internal/online"
 )
 
@@ -105,6 +106,11 @@ type Engine struct {
 	last     core.Time
 	started  bool
 	finished bool
+	// sh, when non-nil, is the geo-sharded runtime behind this engine
+	// (Config.Shards > 1): events dispatch to per-shard queues and the
+	// fields above stay unused. The façade branches internally so the
+	// serving layer drives both runtimes through one API.
+	sh *shardedEngine
 }
 
 // NewEngine builds an engine for the given platform set. The order of
@@ -113,6 +119,13 @@ type Engine struct {
 // factory is the same one Run takes; threshold algorithms need their
 // a-priori max value folded into the factory by the caller.
 func NewEngine(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*Engine, error) {
+	if cfg.Shards > 1 {
+		sh, err := newShardedEngine(pids, factory, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{sh: sh}, nil
+	}
 	s, err := newRunStateFor(pids, factory, cfg)
 	if err != nil {
 		return nil, err
@@ -131,6 +144,15 @@ func NewEngine(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*Eng
 // afterwards it returns an error so a mid-run rebase can never fork the
 // ID sequence away from a replayed run.
 func (e *Engine) SetRecycleBase(base int64) error {
+	if e.sh != nil {
+		// The sharded runtime rejects ServiceTicks, so no recycled worker
+		// is ever minted; accept the call (replay drivers set the base
+		// unconditionally) as long as nothing has been fed.
+		if e.sh.started || e.sh.closed {
+			return fmt.Errorf("platform: SetRecycleBase after the first event; seed the allocator before feeding")
+		}
+		return nil
+	}
 	if e.started || e.finished {
 		return fmt.Errorf("platform: SetRecycleBase after the first event; seed the allocator before feeding")
 	}
@@ -147,6 +169,9 @@ func (e *Engine) SetRecycleBase(base int64) error {
 // wrapping ErrTimeRegression, and any call after Finish returns one
 // wrapping ErrEngineClosed.
 func (e *Engine) Process(ev core.Event) (RequestDecision, error) {
+	if e.sh != nil {
+		return e.sh.process(ev)
+	}
 	if e.finished {
 		return RequestDecision{}, fmt.Errorf("platform: %w", ErrEngineClosed)
 	}
@@ -222,6 +247,18 @@ func eventPlatform(ev core.Event) (core.PlatformID, bool) {
 // the clock, so later events must arrive at or after t, exactly like an
 // event at t.
 func (e *Engine) AdvanceTime(t core.Time) error {
+	if e.sh != nil {
+		// Nothing to settle: the sharded runtime has no recycled workers
+		// and no windowed matchers. Track the clock for regression checks.
+		if e.sh.closed {
+			return fmt.Errorf("platform: %w", ErrEngineClosed)
+		}
+		if !e.sh.started || t > e.sh.last {
+			e.sh.started = true
+			e.sh.last = t
+		}
+		return nil
+	}
 	if e.finished {
 		return fmt.Errorf("platform: %w", ErrEngineClosed)
 	}
@@ -238,12 +275,24 @@ func (e *Engine) AdvanceTime(t core.Time) error {
 // to answer requests that got a Deferred placeholder from Process. Set
 // it before feeding events; the engine reads it without locking from
 // whichever call triggers a flush.
-func (e *Engine) SetDecisionHandler(fn func(RequestDecision)) { e.s.onFlush = fn }
+func (e *Engine) SetDecisionHandler(fn func(RequestDecision)) {
+	if e.sh != nil {
+		// Windowed matchers are rejected with Shards > 1, so no deferred
+		// decision can ever flush; the handler would never fire.
+		return
+	}
+	e.s.onFlush = fn
+}
 
 // Windowed reports whether any platform runs a windowed matcher — when
 // false, AdvanceTime can never flush anything and callers may skip
 // clock-driving entirely.
-func (e *Engine) Windowed() bool { return len(e.s.windowed) > 0 }
+func (e *Engine) Windowed() bool {
+	if e.sh != nil {
+		return false
+	}
+	return len(e.s.windowed) > 0
+}
 
 // HasOpenWindow reports whether some windowed matcher is holding
 // buffered requests right now. The serving layer gates its virtual-time
@@ -258,6 +307,9 @@ func (e *Engine) HasOpenWindow() bool {
 // sequencer's virtual clock to tick (and WAL-log the tick) only when
 // the tick would actually flush something.
 func (e *Engine) NextFlush() (core.Time, bool) {
+	if e.sh != nil {
+		return 0, false
+	}
 	due, open := core.Time(0), false
 	for i := range e.s.windowed {
 		if t, ok := e.s.windowed[i].m.NextFlush(); ok && (!open || t < due) {
@@ -267,6 +319,17 @@ func (e *Engine) NextFlush() (core.Time, bool) {
 	return due, open
 }
 
+// ShardStats returns the live per-shard counters of a geo-sharded
+// engine (applied events, queue depths, boundary-crossing events and
+// cross-shard borrow outcomes), nil for an unsharded one. The serving
+// layer folds it into /v1/metrics on every scrape.
+func (e *Engine) ShardStats() []metrics.ShardSnapshot {
+	if e.sh == nil {
+		return nil
+	}
+	return e.sh.shardStats()
+}
+
 // Finish settles everything still pending — recycled workers due after
 // the last event and the final open window, interleaved in virtual-time
 // order (every completed service counts as a re-arrival, mirroring the
@@ -274,6 +337,9 @@ func (e *Engine) NextFlush() (core.Time, bool) {
 // accumulated Result. The engine is closed afterwards: further Process
 // or Finish calls return an error wrapping ErrEngineClosed.
 func (e *Engine) Finish() (*Result, error) {
+	if e.sh != nil {
+		return e.sh.finish()
+	}
 	if e.finished {
 		return nil, fmt.Errorf("platform: %w", ErrEngineClosed)
 	}

@@ -260,7 +260,16 @@ func (v *hubView) EligibleOuter(r *core.Request) []online.Candidate {
 // removal then commits the claim (or reports that the owner's inner
 // assignment won the race).
 func (v *hubView) Claim(workerID int64) bool {
-	h := v.hub
+	return v.hub.claim(v.self, workerID, v.now, true)
+}
+
+// claim is the hub's atomic claim commit point, shared by the in-hub
+// cooperation path (hubView.Claim) and the sharded engine's cross-shard
+// borrows, which claim against a *remote* shard's hub. useFaults gates
+// the fault injector: remote claims skip it, because the injector's RNG
+// and breakers belong to the hub's own shard goroutines and the
+// claim-protocol gates carry their own breaker machinery.
+func (h *Hub) claim(self core.PlatformID, workerID int64, now core.Time, useFaults bool) bool {
 	if h.CoopDisabled {
 		return false
 	}
@@ -276,12 +285,12 @@ func (v *hubView) Claim(workerID int64) bool {
 		h.metrics.ClaimConflict()
 		return false
 	}
-	if owner == v.self {
+	if owner == self {
 		// Semantic refusal, not a race: the coop view never hands out
 		// a platform's own workers.
 		return false
 	}
-	if h.faults != nil && !h.faults.ClaimPartner(v.self, owner, v.now) {
+	if useFaults && h.faults != nil && !h.faults.ClaimPartner(self, owner, now) {
 		// Injected transient claim error (retries exhausted) or an open
 		// breaker: to the matcher this is indistinguishable from a lost
 		// race — it moves on to the next accepting candidate.

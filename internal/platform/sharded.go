@@ -1,0 +1,838 @@
+package platform
+
+// The geo-sharded runtime: matching state partitioned by spatial grid
+// cell, one engine goroutine per shard, cross-shard cooperation through
+// the internal/shard claim protocol. Each shard owns a full runState —
+// its own hub, matcher instances and per-platform results — holding
+// exactly the workers whose cells it owns; a request is matched by the
+// shard owning its cell, scanning local waiting lists plus (for
+// boundary requests) the hubs of the shards its eligibility disk
+// touches, with remote claims committed through the target hub's
+// per-worker atomic claim word.
+//
+// Determinism: the dispatcher (the stream partition pass offline, the
+// serving sequencer live) assigns every event a global sequence number;
+// the shard.Coordinator's frontier gates order all cross-shard
+// interaction by those numbers, so with a zero stall timeout repeated
+// runs are bit-identical. The documented merge order is cell-major,
+// ID-canonical: shard results merge in ascending shard index per
+// platform, and each shard's matching is already in its own event
+// order, so the merged Result is a pure function of (stream, factory,
+// Config).
+//
+// The sharded result intentionally differs from the unsharded engine's:
+// inner matching is shard-local (a platform's worker in another shard's
+// cells is invisible to its own requests there — the locality
+// approximation Kanoria's dynamic spatial matching results justify:
+// match quality is dominated by local supply density), and cooperation
+// reaches exactly the shards a request's disk touches. Shards <= 1
+// never enters this file and stays bit-identical to previous releases.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"crossmatch/internal/core"
+	"crossmatch/internal/geo"
+	"crossmatch/internal/index"
+	"crossmatch/internal/metrics"
+	"crossmatch/internal/online"
+	"crossmatch/internal/shard"
+	"crossmatch/internal/stats"
+)
+
+// ErrShardUnsupported is the typed error returned when a Config
+// combines Shards > 1 with a feature the sharded runtime does not
+// support: ServiceTicks (worker recycling re-arrivals would need
+// cross-shard re-delivery), PlatformParallel (the shard loops are the
+// parallelism), Trace (recorders are bound per matcher, and the shard
+// copies would fight over rings), or windowed matchers (window flushes
+// would need a cross-shard virtual-time barrier). Match it with
+// errors.Is.
+var ErrShardUnsupported = errors.New("unsupported with Shards > 1")
+
+// ErrShardReach is the typed error returned when a worker's eligibility
+// radius exceeds the reach the sharded engine planned its boundary
+// crossings for — admitting the worker could make a request's target
+// set under-approximate and silently lose cooperation candidates.
+var ErrShardReach = errors.New("worker radius exceeds ShardReach")
+
+// testShardHold, when non-nil, is called by every shard loop before
+// each event with (shard, seq) — the chaos-test seam for stalling a
+// shard mid-run. Never set outside tests.
+var testShardHold func(shardIdx int, seq int64)
+
+// shardSeed derives shard i's Config.Seed: shard 0 keeps the run seed
+// (so a structurally-sharded n=1 run draws identically to the unsharded
+// engine) and later shards decorrelate through a Weyl-sequence step.
+func shardSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	const weyl uint64 = 0x9E3779B97F4A7C15
+	return seed ^ int64(weyl*uint64(i))
+}
+
+func shardUnsupported(cfg Config) error {
+	switch {
+	case cfg.ServiceTicks > 0:
+		return fmt.Errorf("platform: ServiceTicks %w", ErrShardUnsupported)
+	case cfg.PlatformParallel:
+		return fmt.Errorf("platform: PlatformParallel %w", ErrShardUnsupported)
+	case cfg.Trace != nil:
+		return fmt.Errorf("platform: Trace %w", ErrShardUnsupported)
+	}
+	return nil
+}
+
+// shardCounters is one shard's observability slice, written by its loop
+// and read by metrics snapshots.
+type shardCounters struct {
+	applied   atomic.Int64
+	boundary  atomic.Int64
+	borrows   atomic.Int64
+	conflicts atomic.Int64
+	degraded  atomic.Int64
+}
+
+// shardedRun is the shared machinery of a sharded run: the partitioner
+// and coordinator, one runState per shard, and the per-shard boundary
+// context the cooperation views read.
+type shardedRun struct {
+	cfg    Config
+	part   *shard.Partitioner
+	co     *shard.Coordinator
+	reach  float64
+	pids   []core.PlatformID
+	states []*runState
+	// cur[s].targets is the granted target set of the boundary event
+	// shard s is currently processing (nil otherwise); only shard s's
+	// goroutine touches its entry while the matcher runs.
+	cur   []struct{ targets []int }
+	stats []shardCounters
+
+	errMu    sync.Mutex
+	firstErr error
+	errSeq   int64
+}
+
+// fail records the error of the earliest-sequence failing event and
+// closes the coordinator so every other shard drains out.
+func (sr *shardedRun) fail(seq int64, err error) {
+	sr.errMu.Lock()
+	if sr.firstErr == nil || seq < sr.errSeq {
+		sr.firstErr, sr.errSeq = err, seq
+	}
+	sr.errMu.Unlock()
+	sr.co.Close()
+}
+
+func (sr *shardedRun) loadErr() error {
+	sr.errMu.Lock()
+	defer sr.errMu.Unlock()
+	return sr.firstErr
+}
+
+func newShardedRun(pids []core.PlatformID, factory MatcherFactory, cfg Config, reach float64) (*shardedRun, error) {
+	if err := shardUnsupported(cfg); err != nil {
+		return nil, err
+	}
+	n := cfg.Shards
+	sr := &shardedRun{
+		cfg:   cfg,
+		part:  shard.NewPartitioner(n, index.DefaultCell),
+		reach: reach,
+		pids:  append([]core.PlatformID(nil), pids...),
+		cur:   make([]struct{ targets []int }, n),
+		stats: make([]shardCounters, n),
+	}
+	sr.co = shard.New(n, shard.Options{
+		StallTimeout: cfg.ShardStallTimeout,
+		Metrics:      cfg.Metrics,
+	})
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		scfg.Seed = shardSeed(cfg.Seed, i)
+		st, err := newRunStateWith(pids, factory, scfg, sr.viewWrap(i), false)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.windowed) > 0 {
+			return nil, fmt.Errorf("platform: windowed matcher %q %w", st.windowed[0].m.Name(), ErrShardUnsupported)
+		}
+		st.hub.seal()
+		sr.states = append(sr.states, st)
+	}
+	cfg.Metrics.RunStarted()
+	return sr, nil
+}
+
+// viewWrap splices the cross-shard cooperation view in front of shard
+// i's hub views: local candidates keep flowing from the shard's own
+// hub, and boundary requests additionally see (and claim from) the hubs
+// of their granted target shards.
+func (sr *shardedRun) viewWrap(i int) func(core.PlatformID, online.CoopView) online.CoopView {
+	return func(pid core.PlatformID, base online.CoopView) online.CoopView {
+		return &shardCoopView{sr: sr, si: i, pid: pid, base: base, remote: map[int64]int{}}
+	}
+}
+
+// shardCoopView is one platform-on-one-shard's window onto the other
+// platforms' workers: the local shard's hub view plus, for the boundary
+// event in flight, the target shards' hubs. Like hubView it is bound to
+// the goroutine driving the shard and reuses its scratch across
+// requests.
+type shardCoopView struct {
+	sr   *shardedRun
+	si   int
+	pid  core.PlatformID
+	base online.CoopView
+	now  core.Time
+	// remote maps a sighted remote worker to the shard whose hub holds
+	// it, so Claim can route the commit to the right claim word.
+	remote  map[int64]int
+	cands   []online.Candidate
+	workers []*core.Worker
+}
+
+// EligibleOuter returns the local shard's cooperative candidates,
+// extended — for boundary requests — with the other platforms' workers
+// waiting in the granted target shards. Remote candidates append after
+// local ones in ascending shard order, each shard's in its hub
+// registration order: the deterministic candidate order matcher RNG
+// draws depend on. Remote hub access takes the target hub's own locks
+// (the target shard is parked at its gate during a deterministic run,
+// and the locks keep degraded runs valid), and bypasses the fault
+// injector — injector state belongs to the target's goroutine.
+func (v *shardCoopView) EligibleOuter(r *core.Request) []online.Candidate {
+	v.now = r.Arrival
+	if len(v.remote) > 0 {
+		clear(v.remote)
+	}
+	local := v.base.EligibleOuter(r)
+	targets := v.sr.cur[v.si].targets
+	if len(targets) == 0 {
+		return local
+	}
+	v.cands = append(v.cands[:0], local...)
+	for _, t := range targets {
+		v.appendRemote(t, r)
+	}
+	return v.cands
+}
+
+func (v *shardCoopView) appendRemote(t int, r *core.Request) {
+	th := v.sr.states[t].hub
+	if th.CoopDisabled {
+		return
+	}
+	v.workers = v.workers[:0]
+	for _, pid := range th.order {
+		if pid == v.pid {
+			continue
+		}
+		v.workers = th.pools[pid].AppendCovering(v.workers, r)
+	}
+	if len(v.workers) == 0 {
+		return
+	}
+	th.lockTables()
+	for _, w := range v.workers {
+		hist := th.histories[w.ID]
+		if hist == nil {
+			// Assigned between the pool scan and now (degraded mode
+			// only); already out of every waiting list.
+			continue
+		}
+		v.remote[w.ID] = t
+		v.cands = append(v.cands, online.Candidate{Worker: w, History: hist})
+	}
+	th.mu.Unlock()
+}
+
+// Claim commits a claim for a sighted worker: remote workers commit
+// against their owning shard's hub — the cross-shard borrow — and
+// everything else delegates to the local hub view.
+func (v *shardCoopView) Claim(workerID int64) bool {
+	t, ok := v.remote[workerID]
+	if !ok {
+		return v.base.Claim(workerID)
+	}
+	cnt := &v.sr.stats[v.si]
+	if v.sr.states[t].hub.claim(v.pid, workerID, v.now, false) {
+		cnt.borrows.Add(1)
+		v.sr.cfg.Metrics.CrossShardBorrow()
+		return true
+	}
+	cnt.conflicts.Add(1)
+	return false
+}
+
+// shardSnapshots folds the per-shard counters into the metrics shape;
+// queueDepth, when non-nil, supplies live queue depths (engine mode).
+func (sr *shardedRun) shardSnapshots(queueDepth func(int) int64) []metrics.ShardSnapshot {
+	out := make([]metrics.ShardSnapshot, len(sr.states))
+	for i := range out {
+		c := &sr.stats[i]
+		out[i] = metrics.ShardSnapshot{
+			Shard:          i,
+			Applied:        c.applied.Load(),
+			BoundaryEvents: c.boundary.Load(),
+			Borrows:        c.borrows.Load(),
+			ClaimConflicts: c.conflicts.Load(),
+			Degraded:       c.degraded.Load(),
+		}
+		if queueDepth != nil {
+			out[i].QueueDepth = queueDepth(i)
+		}
+	}
+	return out
+}
+
+// merge combines the per-shard results under the documented cell-major,
+// ID-canonical order: per platform, shard results fold in ascending
+// shard index; every assignment re-validates through Matching.Add, so a
+// worker assigned by two shards — impossible under the protocol, but
+// the property the whole design rests on — fails the merge loudly
+// instead of producing an invalid Result.
+func (sr *shardedRun) merge() (*Result, error) {
+	res := &Result{
+		Platforms: make(map[core.PlatformID]*PlatformResult, len(sr.pids)),
+		Lent:      make(map[core.PlatformID]int, len(sr.pids)),
+	}
+	for _, pid := range sr.pids {
+		agg := &PlatformResult{
+			ID:       pid,
+			Name:     sr.states[0].res.Platforms[pid].Name,
+			Matching: core.NewMatching(),
+			Latency:  stats.NewReservoir(0, sr.cfg.Seed^int64(pid)),
+		}
+		for si, st := range sr.states {
+			pr := st.res.Platforms[pid]
+			agg.Stats.Requests += pr.Stats.Requests
+			agg.Stats.Served += pr.Stats.Served
+			agg.Stats.ServedInner += pr.Stats.ServedInner
+			agg.Stats.ServedOuter += pr.Stats.ServedOuter
+			agg.Stats.CoopAttempted += pr.Stats.CoopAttempted
+			agg.Stats.Revenue += pr.Stats.Revenue
+			agg.Stats.PaymentSum += pr.Stats.PaymentSum
+			agg.Stats.PaymentRate += pr.Stats.PaymentRate
+			agg.ResponseTotal += pr.ResponseTotal
+			if pr.ResponseMax > agg.ResponseMax {
+				agg.ResponseMax = pr.ResponseMax
+			}
+			agg.Latency.Merge(pr.Latency)
+			for _, a := range pr.Matching.Assignments() {
+				if err := agg.Matching.Add(a); err != nil {
+					return nil, fmt.Errorf("platform %d: shard %d merge: %w", pid, si, err)
+				}
+			}
+		}
+		res.Platforms[pid] = agg
+	}
+	for _, st := range sr.states {
+		for pid, n := range st.hub.Lent() {
+			res.Lent[pid] += n
+		}
+	}
+	return res, nil
+}
+
+// foldShardPricing folds every shard's matcher pricing counters; call
+// only after the shard loops have stopped.
+func (sr *shardedRun) foldShardPricing() {
+	for _, st := range sr.states {
+		st.foldPricing()
+	}
+}
+
+// shardEventLoc returns the location that assigns an event to a shard —
+// the same key the fleet router partitions by (route.SplitStream).
+func shardEventLoc(ev core.Event) (geo.Point, bool) {
+	switch {
+	case ev.Kind == core.WorkerArrival && ev.Worker != nil:
+		return ev.Worker.Loc, true
+	case ev.Kind == core.RequestArrival && ev.Request != nil:
+		return ev.Request.Loc, true
+	}
+	return geo.Point{}, false
+}
+
+// maxWorkerRadius scans a stream for the largest worker eligibility
+// radius — what a stream run derives ShardReach from.
+func maxWorkerRadius(stream *core.Stream) float64 {
+	r := 0.0
+	for _, w := range stream.Workers() {
+		if w.Radius > r {
+			r = w.Radius
+		}
+	}
+	return r
+}
+
+// shardPlan is one shard's slice of a partitioned stream: the indices
+// of its events in the global stream (the index doubles as the event's
+// global sequence number) and the precomputed boundary subset with its
+// target sets.
+type shardPlan struct {
+	evIdx    []int32
+	bSeqs    []int64
+	bTargets [][]int
+}
+
+// partition deals a stream's events to shards and classifies boundary
+// requests, in one single-goroutine pass (the partitioner is not
+// concurrent-safe, and the pass is what assigns sequence numbers).
+func (sr *shardedRun) partition(stream *core.Stream) ([]shardPlan, error) {
+	events := stream.Events()
+	plans := make([]shardPlan, len(sr.states))
+	counts := make([]int, len(sr.states))
+	for _, ev := range events {
+		loc, ok := shardEventLoc(ev)
+		if !ok {
+			return nil, fmt.Errorf("platform: sharded run: event with nil payload")
+		}
+		counts[sr.part.ShardOf(loc)]++
+	}
+	for s := range plans {
+		plans[s].evIdx = make([]int32, 0, counts[s])
+	}
+	var tscratch []int
+	for i, ev := range events {
+		p, _ := shardEventLoc(ev)
+		s := sr.part.ShardOf(p)
+		pl := &plans[s]
+		pl.evIdx = append(pl.evIdx, int32(i))
+		if ev.Kind == core.RequestArrival && !sr.cfg.DisableCoop {
+			tscratch = sr.part.AppendTargets(tscratch[:0], s, p, sr.reach)
+			if len(tscratch) > 0 {
+				pl.bSeqs = append(pl.bSeqs, int64(i))
+				pl.bTargets = append(pl.bTargets, append([]int(nil), tscratch...))
+			}
+		}
+	}
+	return plans, nil
+}
+
+// bulkLoop drives one shard through its slice of a partitioned stream.
+// Sequence numbers are the global event indices; the loop publishes its
+// progress frontier after each event and resolves its boundary frontier
+// as boundary events commit.
+func (sr *shardedRun) bulkLoop(ctx context.Context, si int, pl shardPlan, events []core.Event) {
+	st := sr.states[si]
+	cnt := &sr.stats[si]
+	bi := 0
+	for k, idx := range pl.evIdx {
+		if k&cancelCheckMask == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				sr.fail(int64(idx), fmt.Errorf("shard %d stopped after %d of %d events: %w", si, k, len(pl.evIdx), cerr))
+				return
+			}
+		}
+		seq := int64(idx)
+		ev := events[idx]
+		if hold := testShardHold; hold != nil {
+			hold(si, seq)
+		}
+		boundary := bi < len(pl.bSeqs) && pl.bSeqs[bi] == seq
+		if boundary {
+			g := sr.co.WaitClaim(si, seq, pl.bTargets[bi], ev.Time)
+			if !g.OK {
+				return
+			}
+			sr.cur[si].targets = g.Targets
+			cnt.boundary.Add(1)
+			if g.Degraded {
+				cnt.degraded.Add(1)
+			}
+		} else if !sr.co.WaitLocal(si, seq) {
+			return
+		}
+		var err error
+		switch ev.Kind {
+		case core.WorkerArrival:
+			err = st.deliver(ev.Worker)
+		case core.RequestArrival:
+			_, _, err = st.handleRequest(ev)
+		}
+		sr.cur[si].targets = nil
+		if boundary {
+			bi++
+			nb := shard.None
+			if bi < len(pl.bSeqs) {
+				nb = pl.bSeqs[bi]
+			}
+			sr.co.SetBoundary(si, nb)
+		}
+		next := shard.None
+		if k+1 < len(pl.evIdx) {
+			next = int64(pl.evIdx[k+1])
+		}
+		sr.co.SetPend(si, next)
+		cnt.applied.Add(1)
+		if err != nil {
+			sr.fail(seq, err)
+			return
+		}
+	}
+}
+
+// runSharded is the bulk (stream) entry point of the sharded runtime.
+func runSharded(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
+	reach := cfg.ShardReach
+	maxR := maxWorkerRadius(stream)
+	if reach <= 0 {
+		reach = maxR
+	} else if maxR > reach {
+		return nil, fmt.Errorf("platform: %w: stream max %v > %v", ErrShardReach, maxR, cfg.ShardReach)
+	}
+	sr, err := newShardedRun(stream.Platforms(), factory, cfg, reach)
+	if err != nil {
+		return nil, err
+	}
+	plans, err := sr.partition(stream)
+	if err != nil {
+		return nil, err
+	}
+	for s := range plans {
+		first, firstB := shard.None, shard.None
+		if len(plans[s].evIdx) > 0 {
+			first = int64(plans[s].evIdx[0])
+		}
+		if len(plans[s].bSeqs) > 0 {
+			firstB = plans[s].bSeqs[0]
+		}
+		sr.co.SetPend(s, first)
+		sr.co.SetBoundary(s, firstB)
+	}
+	events := stream.Events()
+	var wg sync.WaitGroup
+	for s := range sr.states {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sr.bulkLoop(ctx, s, plans[s], events)
+		}(s)
+	}
+	wg.Wait()
+	sr.co.Close()
+	sr.foldShardPricing()
+	cfg.Metrics.RecordShards(sr.shardSnapshots(nil))
+	if err := sr.loadErr(); err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			// Mirror runSequential's cancellation contract: partial
+			// Result alongside the wrapped context error.
+			res, merr := sr.merge()
+			if merr != nil {
+				return nil, merr
+			}
+			return res, fmt.Errorf("platform: %w", err)
+		}
+		return nil, err
+	}
+	return sr.merge()
+}
+
+// shardItem is one dispatched event in an engine-mode shard queue.
+type shardItem struct {
+	seq      int64
+	ev       core.Event
+	targets  []int
+	boundary bool
+	// reply, when non-nil, receives the decision synchronously (request
+	// arrivals); worker arrivals flow fire-and-forget.
+	reply chan shardReply
+}
+
+type shardReply struct {
+	d   RequestDecision
+	err error
+}
+
+// shardQueue is one shard's FIFO dispatch queue. It owns the shard's
+// coordinator frontiers: pend tracks the oldest queued-or-in-flight
+// sequence number, the boundary frontier the oldest queued boundary
+// event — maintained at push/complete time under the queue lock, which
+// is what makes the propose phase atomic with the enqueue.
+type shardQueue struct {
+	co    *shard.Coordinator
+	si    int
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []shardItem
+	head  int
+	// bseqs are the sequence numbers of queued-or-in-flight boundary
+	// items, FIFO.
+	bseqs    []int64
+	inflight bool
+	closed   bool
+	depth    atomic.Int64
+}
+
+func newShardQueue(co *shard.Coordinator, si int) *shardQueue {
+	q := &shardQueue{co: co, si: si}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *shardQueue) push(it shardItem) {
+	q.mu.Lock()
+	wasIdle := q.head == len(q.items) && !q.inflight
+	q.items = append(q.items, it)
+	q.depth.Add(1)
+	if wasIdle {
+		q.co.SetPend(q.si, it.seq)
+	}
+	if it.boundary {
+		q.bseqs = append(q.bseqs, it.seq)
+		if len(q.bseqs) == 1 {
+			q.co.SetBoundary(q.si, it.seq)
+		}
+	}
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop blocks for the next item; ok=false means the queue closed empty.
+// The popped item counts as in flight: the shard's pend frontier stays
+// at its sequence number until complete.
+func (q *shardQueue) pop() (shardItem, bool) {
+	q.mu.Lock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.items) {
+		q.mu.Unlock()
+		return shardItem{}, false
+	}
+	it := q.items[q.head]
+	q.items[q.head] = shardItem{}
+	q.head++
+	if q.head > 256 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	q.inflight = true
+	q.depth.Add(-1)
+	q.mu.Unlock()
+	return it, true
+}
+
+// complete resolves the frontiers after an item finishes processing.
+func (q *shardQueue) complete(it shardItem) {
+	q.mu.Lock()
+	q.inflight = false
+	if it.boundary {
+		q.bseqs = q.bseqs[1:]
+		nb := shard.None
+		if len(q.bseqs) > 0 {
+			nb = q.bseqs[0]
+		}
+		q.co.SetBoundary(q.si, nb)
+	}
+	next := shard.None
+	if q.head < len(q.items) {
+		next = q.items[q.head].seq
+	}
+	q.co.SetPend(q.si, next)
+	q.mu.Unlock()
+}
+
+func (q *shardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// shardedEngine is the incremental (serving) face of the sharded
+// runtime: the Engine façade dispatches events to per-shard queues and
+// the shard loops drive the same gates and views as the bulk path.
+// Worker arrivals are asynchronous (their errors surface on the next
+// Process call); request arrivals block for their decision, during
+// which every other shard keeps consuming its queue.
+type shardedEngine struct {
+	sr      *shardedRun
+	queues  []*shardQueue
+	wg      sync.WaitGroup
+	reply   chan shardReply
+	nextSeq int64
+	last    core.Time
+	started bool
+	closed  bool
+}
+
+func newShardedEngine(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*shardedEngine, error) {
+	if cfg.ShardReach <= 0 {
+		return nil, fmt.Errorf("platform: sharded engine requires ShardReach > 0 (the incremental engine cannot derive it from future arrivals)")
+	}
+	sr, err := newShardedRun(pids, factory, cfg, cfg.ShardReach)
+	if err != nil {
+		return nil, err
+	}
+	se := &shardedEngine{sr: sr, reply: make(chan shardReply, 1)}
+	for s := range sr.states {
+		se.queues = append(se.queues, newShardQueue(sr.co, s))
+	}
+	for s := range sr.states {
+		se.wg.Add(1)
+		go func(s int) {
+			defer se.wg.Done()
+			se.loop(s)
+		}(s)
+	}
+	return se, nil
+}
+
+func (se *shardedEngine) loop(si int) {
+	sr := se.sr
+	st := sr.states[si]
+	q := se.queues[si]
+	cnt := &sr.stats[si]
+	for {
+		it, ok := q.pop()
+		if !ok {
+			return
+		}
+		if hold := testShardHold; hold != nil {
+			hold(si, it.seq)
+		}
+		gated := true
+		if it.boundary {
+			g := sr.co.WaitClaim(si, it.seq, it.targets, it.ev.Time)
+			gated = g.OK
+			if gated {
+				sr.cur[si].targets = g.Targets
+				cnt.boundary.Add(1)
+				if g.Degraded {
+					cnt.degraded.Add(1)
+				}
+			}
+		} else {
+			gated = sr.co.WaitLocal(si, it.seq)
+		}
+		if !gated {
+			// Coordinator closed: another shard failed. Drain without
+			// processing so a blocked Process caller gets an answer.
+			if it.reply != nil {
+				err := sr.loadErr()
+				if err == nil {
+					err = fmt.Errorf("platform: %w", ErrEngineClosed)
+				}
+				it.reply <- shardReply{err: err}
+			}
+			q.complete(it)
+			continue
+		}
+		var rep shardReply
+		switch it.ev.Kind {
+		case core.WorkerArrival:
+			if err := st.deliver(it.ev.Worker); err != nil {
+				sr.fail(it.seq, err)
+			}
+		case core.RequestArrival:
+			d, _, err := st.handleRequest(it.ev)
+			if err != nil {
+				sr.fail(it.seq, err)
+				rep.err = err
+			} else {
+				rep.d = requestDecisionOf(it.ev.Request, d, it.ev.Time)
+			}
+		}
+		sr.cur[si].targets = nil
+		cnt.applied.Add(1)
+		if it.reply != nil {
+			it.reply <- rep
+		}
+		q.complete(it)
+	}
+}
+
+// process implements Engine.Process for the sharded engine; the caller
+// contract (single sequencer goroutine, non-decreasing times) is the
+// same.
+func (se *shardedEngine) process(ev core.Event) (RequestDecision, error) {
+	if se.closed {
+		return RequestDecision{}, fmt.Errorf("platform: %w", ErrEngineClosed)
+	}
+	if err := se.sr.loadErr(); err != nil {
+		return RequestDecision{}, err
+	}
+	if se.started && ev.Time < se.last {
+		return RequestDecision{}, fmt.Errorf("platform: %w: event at %d after %d", ErrTimeRegression, ev.Time, se.last)
+	}
+	pid, ok := eventPlatform(ev)
+	if !ok && (ev.Kind == core.WorkerArrival || ev.Kind == core.RequestArrival) {
+		return RequestDecision{}, fmt.Errorf("platform: %s event with nil payload", kindLabel(ev.Kind))
+	}
+	if ok {
+		if _, known := se.sr.states[0].matchers[pid]; !known {
+			return RequestDecision{}, fmt.Errorf("platform: %w: %d", ErrUnknownPlatform, pid)
+		}
+	}
+	se.started = true
+	se.last = ev.Time
+	switch ev.Kind {
+	case core.WorkerArrival:
+		if ev.Worker.Radius > se.sr.reach {
+			return RequestDecision{}, fmt.Errorf("platform: %w: worker %d radius %v > %v", ErrShardReach, ev.Worker.ID, ev.Worker.Radius, se.sr.reach)
+		}
+		seq := se.nextSeq
+		se.nextSeq++
+		si := se.sr.part.ShardOf(ev.Worker.Loc)
+		se.queues[si].push(shardItem{seq: seq, ev: ev})
+		return RequestDecision{}, nil
+	case core.RequestArrival:
+		seq := se.nextSeq
+		se.nextSeq++
+		si := se.sr.part.ShardOf(ev.Request.Loc)
+		var targets []int
+		if !se.sr.cfg.DisableCoop {
+			targets = se.sr.part.AppendTargets(nil, si, ev.Request.Loc, se.sr.reach)
+		}
+		se.queues[si].push(shardItem{
+			seq: seq, ev: ev,
+			targets:  targets,
+			boundary: len(targets) > 0,
+			reply:    se.reply,
+		})
+		rep := <-se.reply
+		return rep.d, rep.err
+	default:
+		return RequestDecision{}, fmt.Errorf("platform: unknown event kind %d", ev.Kind)
+	}
+}
+
+// finish drains the queues, stops the loops and merges. Mirrors
+// Engine.Finish semantics (nothing recycled or windowed to settle —
+// both are rejected up front).
+func (se *shardedEngine) finish() (*Result, error) {
+	if se.closed {
+		return nil, fmt.Errorf("platform: %w", ErrEngineClosed)
+	}
+	se.closed = true
+	for _, q := range se.queues {
+		q.close()
+	}
+	se.wg.Wait()
+	se.sr.co.Close()
+	se.sr.foldShardPricing()
+	se.sr.cfg.Metrics.RecordShards(se.shardStats())
+	if err := se.sr.loadErr(); err != nil {
+		return nil, err
+	}
+	res, err := se.sr.merge()
+	if err != nil {
+		return nil, err
+	}
+	res.Recycled = 0
+	return res, nil
+}
+
+// shardStats folds the live per-shard counters, including queue depths.
+func (se *shardedEngine) shardStats() []metrics.ShardSnapshot {
+	return se.sr.shardSnapshots(func(i int) int64 { return se.queues[i].depth.Load() })
+}

@@ -111,6 +111,34 @@ type Config struct {
 	// therefore identical results; the knob exists to A/B their cost in
 	// one run (crossmatch.WithPricingTables).
 	PricingScan bool
+	// Shards, when > 1, runs the geo-sharded engine: matching state is
+	// partitioned by spatial grid cell (the internal/cells rendezvous
+	// assignment the fleet router also uses), each shard drives its own
+	// matcher instances and hub on its own goroutine, and
+	// boundary-crossing requests go through the async claim protocol of
+	// internal/shard. Results are bit-identical run to run (sequence
+	// barriers order cross-shard work) under the documented cell-major,
+	// ID-canonical merge order, but differ from the unsharded engine's:
+	// inner matching is shard-local and cooperation reaches only the
+	// shards a request's eligibility disk touches. Zero or one keeps the
+	// unsharded runtime, bit-identical to previous releases. Shards > 1
+	// rejects ServiceTicks, PlatformParallel, Trace and windowed
+	// matchers with ErrShardUnsupported.
+	Shards int
+	// ShardReach is the maximum worker eligibility radius the sharded
+	// engine plans boundary crossings for. Stream runs derive it (the
+	// stream's max worker radius) when zero and reject streams that
+	// exceed an explicit value; the incremental Engine cannot see future
+	// arrivals, so it requires ShardReach > 0 and rejects workers whose
+	// radius exceeds it. Ignored when Shards <= 1.
+	ShardReach float64
+	// ShardStallTimeout arms the wall-clock watchdog on the sharded
+	// engine's gate waits: a stuck shard (or a claim stalled behind one)
+	// degrades to local-only matching after this long, with the lagging
+	// shard's circuit breaker recording the failure. Zero — the default
+	// — waits forever and keeps the run deterministic. Ignored when
+	// Shards <= 1.
+	ShardStallTimeout time.Duration
 }
 
 // PlatformResult aggregates one platform's outcomes.
@@ -242,6 +270,9 @@ func RunContext(ctx context.Context, stream *core.Stream, factory MatcherFactory
 }
 
 func runContext(ctx context.Context, stream *core.Stream, factory MatcherFactory, cfg Config) (*Result, error) {
+	if cfg.Shards > 1 {
+		return runSharded(ctx, stream, factory, cfg)
+	}
 	s, err := newRunState(stream, factory, cfg)
 	if err != nil {
 		return nil, err
@@ -322,6 +353,16 @@ func newRunState(stream *core.Stream, factory MatcherFactory, cfg Config) (*runS
 // callers wanting bit-parity with a stream run must pass
 // stream.Platforms() (ascending IDs).
 func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) (*runState, error) {
+	return newRunStateWith(pids, factory, cfg, nil, true)
+}
+
+// newRunStateWith is newRunStateFor with the two seams the sharded
+// runtime needs: wrapView, when non-nil, wraps each platform's hub view
+// before the matcher factory sees it (the shard layer splices its
+// cross-shard cooperation view in here), and announce=false suppresses
+// the RunStarted metric so a run building one state per shard counts as
+// one run, not Shards runs.
+func newRunStateWith(pids []core.PlatformID, factory MatcherFactory, cfg Config, wrapView func(core.PlatformID, online.CoopView) online.CoopView, announce bool) (*runState, error) {
 	if len(pids) == 0 {
 		return nil, fmt.Errorf("platform: no platforms to run")
 	}
@@ -339,7 +380,11 @@ func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) 
 	root := rand.New(rand.NewSource(cfg.Seed))
 	for _, pid := range s.pids {
 		rng := rand.New(rand.NewSource(root.Int63()))
-		m := factory(pid, s.hub.ViewFor(pid), rng)
+		view := s.hub.ViewFor(pid)
+		if wrapView != nil {
+			view = wrapView(pid, view)
+		}
+		m := factory(pid, view, rng)
 		if sw, ok := m.(pricingSwitcher); ok {
 			sw.SetPricingScan(cfg.PricingScan)
 		}
@@ -397,7 +442,9 @@ func newRunStateFor(pids []core.PlatformID, factory MatcherFactory, cfg Config) 
 		}
 	}
 
-	cfg.Metrics.RunStarted()
+	if announce {
+		cfg.Metrics.RunStarted()
+	}
 	// Per-platform latency labels are built once; the hot loop must not
 	// format strings.
 	if cfg.Metrics != nil {

@@ -29,94 +29,38 @@ package route
 
 import (
 	"fmt"
-	"sort"
 
+	"crossmatch/internal/cells"
 	"crossmatch/internal/core"
 	"crossmatch/internal/geo"
-	"crossmatch/internal/index"
 )
 
 // CellKey identifies one spatial-hash cell, the unit of shard
-// ownership.
-type CellKey struct {
-	CX, CY int32
-}
+// ownership. It is an alias for cells.Key — the shared cell→shard
+// assignment also used by the in-process geo-sharded engine
+// (internal/shard), so the fleet router and the engine can never
+// disagree about ownership.
+type CellKey = cells.Key
 
 // Cell returns the owning cell of a point under the shared grid
 // geometry (index.CellOf).
 func Cell(p geo.Point, cellSize float64) CellKey {
-	cx, cy := index.CellOf(p, cellSize)
-	return CellKey{CX: cx, CY: cy}
-}
-
-// weight is the rendezvous (highest-random-weight) score of a shard
-// for a cell: a 64-bit FNV-1a hash over the cell coordinates and the
-// shard name, passed through a murmur-style avalanche finalizer. The
-// finalizer matters: raw FNV-1a mixes the final input byte weakly, and
-// shard names that differ only in their last character ("s1".."s4" —
-// the natural naming) would make the rendezvous winner correlate with
-// a couple of hash bits, skewing ownership badly (one shard can end up
-// with half the cells). Everything here is fixed arithmetic, stable
-// across processes and platforms — the splitter↔router agreement
-// depends on that; speed is irrelevant at one hash per shard per event.
-func weight(c CellKey, shardName string) uint64 {
-	const offset64 = 14695981039346656037
-	const prime64 = 1099511628211
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
-	}
-	for _, v := range []int32{c.CX, c.CY} {
-		u := uint32(v)
-		mix(byte(u))
-		mix(byte(u >> 8))
-		mix(byte(u >> 16))
-		mix(byte(u >> 24))
-	}
-	mix(0xfe) // domain separator between coordinates and name
-	for i := 0; i < len(shardName); i++ {
-		mix(shardName[i])
-	}
-	// fmix64 avalanche (MurmurHash3 finalizer constants).
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
+	return cells.Of(p, cellSize)
 }
 
 // Rank returns the shard names in descending rendezvous-weight order
 // for a cell: Rank(...)[0] is the owner, the rest the failover
 // preference chain. Adding or removing one shard moves only the cells
 // that hashed to it — the consistent-hashing property that keeps a
-// resize from reshuffling the whole fleet.
+// resize from reshuffling the whole fleet. Delegates to cells.Rank,
+// the shared rendezvous hash.
 func Rank(c CellKey, shardNames []string) []string {
-	out := append([]string(nil), shardNames...)
-	sort.SliceStable(out, func(i, j int) bool {
-		wi, wj := weight(c, out[i]), weight(c, out[j])
-		if wi != wj {
-			return wi > wj
-		}
-		return out[i] < out[j] // total order even under hash ties
-	})
-	return out
+	return cells.Rank(c, shardNames)
 }
 
-// Owner returns the rendezvous owner of a cell.
+// Owner returns the rendezvous owner of a cell (cells.Owner).
 func Owner(c CellKey, shardNames []string) string {
-	if len(shardNames) == 0 {
-		return ""
-	}
-	best := shardNames[0]
-	bw := weight(c, best)
-	for _, name := range shardNames[1:] {
-		if w := weight(c, name); w > bw || (w == bw && name < best) {
-			best, bw = name, w
-		}
-	}
-	return best
+	return cells.Owner(c, shardNames)
 }
 
 // eventLoc returns the location that determines an event's cell.

@@ -1,0 +1,336 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"crossmatch/internal/cells"
+	"crossmatch/internal/core"
+	"crossmatch/internal/fault"
+	"crossmatch/internal/geo"
+)
+
+func TestPartitionerShardOfMatchesOwnerIndex(t *testing.T) {
+	p := NewPartitioner(4, 1.0)
+	names := cells.Names(4)
+	for x := -20.0; x <= 20.0; x += 0.7 {
+		for y := -20.0; y <= 20.0; y += 0.9 {
+			loc := geo.Point{X: x, Y: y}
+			want := cells.OwnerIndex(cells.Of(loc, 1.0), names)
+			if got := p.ShardOf(loc); got != want {
+				t.Fatalf("ShardOf(%v) = %d, want %d", loc, got, want)
+			}
+		}
+	}
+}
+
+func TestAppendTargetsLocalWhenDiskInsideOwnCells(t *testing.T) {
+	p := NewPartitioner(4, 10.0)
+	// Center of a 10x10 cell with reach 1: the disk cannot leave the cell.
+	loc := geo.Point{X: 5, Y: 5}
+	self := p.ShardOf(loc)
+	if got := p.AppendTargets(nil, self, loc, 1.0); len(got) != 0 {
+		t.Fatalf("disk wholly inside one cell classified boundary: targets %v", got)
+	}
+	// Single shard: never boundary regardless of reach.
+	one := NewPartitioner(1, 1.0)
+	if got := one.AppendTargets(nil, 0, loc, 100); len(got) != 0 {
+		t.Fatalf("single-shard partitioner returned targets %v", got)
+	}
+	// Zero reach: never boundary.
+	if got := p.AppendTargets(nil, self, geo.Point{X: 0.01, Y: 0.01}, 0); len(got) != 0 {
+		t.Fatalf("zero reach returned targets %v", got)
+	}
+}
+
+func TestAppendTargetsDiskExactCorners(t *testing.T) {
+	p := NewPartitioner(8, 1.0)
+	// A point at a cell center with reach small enough that the disk
+	// misses the diagonal neighbors but clips the four edge neighbors:
+	// the corner cells must not appear via the bounding box.
+	loc := geo.Point{X: 10.5, Y: 10.5}
+	self := p.ShardOf(loc)
+	got := p.AppendTargets(nil, self, loc, 0.6)
+	// Recompute the expectation by brute force over the 3x3 block with
+	// the exact disk-rect test.
+	want := map[int]bool{}
+	for cx := int32(9); cx <= 11; cx++ {
+		for cy := int32(9); cy <= 11; cy++ {
+			dx := clampResidual(loc.X, float64(cx), 1.0)
+			dy := clampResidual(loc.Y, float64(cy), 1.0)
+			if dx*dx+dy*dy > 0.36 {
+				continue // diagonal neighbors: residual ~0.707 > 0.6
+			}
+			if o := cells.OwnerIndex(cells.Key{CX: cx, CY: cy}, p.Names()); o != self {
+				want[o] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("targets %v, want set %v", got, want)
+	}
+	prev := -1
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected target %d (want %v)", s, want)
+		}
+		if s <= prev {
+			t.Fatalf("targets not ascending: %v", got)
+		}
+		prev = s
+	}
+	b, c := p.Boundary()
+	if c == 0 || b == 0 || b > c {
+		t.Fatalf("boundary counters implausible: %d of %d", b, c)
+	}
+}
+
+func TestCoordinatorLocalGateFastPath(t *testing.T) {
+	c := New(3, Options{})
+	if !c.WaitLocal(1, 42) {
+		t.Fatal("local gate with no boundary work must pass")
+	}
+	// A boundary event at seq 10 in shard 0 blocks seq 42 in shard 1
+	// but not seq 9.
+	c.SetBoundary(0, 10)
+	if !c.WaitLocal(1, 9) {
+		t.Fatal("seq 9 must pass under boundary frontier 10")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- c.WaitLocal(1, 42) }()
+	select {
+	case <-done:
+		t.Fatal("seq 42 passed under boundary frontier 10")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.SetBoundary(0, None) // resolve
+	if ok := <-done; !ok {
+		t.Fatal("gate must open after boundary resolves")
+	}
+}
+
+func TestCoordinatorClaimGateWaitsForTargets(t *testing.T) {
+	c := New(3, Options{})
+	c.SetPend(1, 5) // target shard 1 still at seq 5
+	c.SetBoundary(0, 8)
+	res := make(chan Grant, 1)
+	go func() { res <- c.WaitClaim(0, 8, []int{1}, 8) }()
+	select {
+	case <-res:
+		t.Fatal("claim granted while target pend < seq")
+	case <-time.After(20 * time.Millisecond):
+	}
+	c.SetPend(1, 9) // target caught up and parked past seq 8
+	g := <-res
+	if !g.OK || g.Degraded || len(g.Targets) != 1 || g.Targets[0] != 1 {
+		t.Fatalf("grant = %+v, want full grant of target 1", g)
+	}
+}
+
+func TestCoordinatorClaimGateOrdersBoundaryEvents(t *testing.T) {
+	c := New(2, Options{})
+	// Two boundary events: seq 3 in shard 0, seq 7 in shard 1. The later
+	// one must wait for the earlier to resolve even with pend caught up.
+	c.SetBoundary(0, 3)
+	c.SetBoundary(1, 7)
+	c.SetPend(0, 3)
+	c.SetPend(1, 7)
+	res := make(chan Grant, 1)
+	go func() { res <- c.WaitClaim(1, 7, []int{0}, 7) }()
+	select {
+	case <-res:
+		t.Fatal("seq 7 claim granted while shard 0 holds boundary seq 3")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Shard 0's boundary event runs (its own gate sees no *other* shard
+	// below it), resolves, advances.
+	g0 := c.WaitClaim(0, 3, []int{1}, 3)
+	if !g0.OK || g0.Degraded {
+		t.Fatalf("earliest boundary event blocked: %+v", g0)
+	}
+	c.SetBoundary(0, None)
+	c.SetPend(0, 4)
+	c.SetPend(0, None)
+	g := <-res
+	if !g.OK || g.Degraded {
+		t.Fatalf("grant after resolve = %+v", g)
+	}
+}
+
+func TestCoordinatorCloseReleasesWaiters(t *testing.T) {
+	c := New(2, Options{})
+	c.SetBoundary(0, 1)
+	local := make(chan bool, 1)
+	claim := make(chan Grant, 1)
+	go func() { local <- c.WaitLocal(1, 5) }()
+	go func() { claim <- c.WaitClaim(1, 5, []int{0}, 5) }()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	if ok := <-local; ok {
+		t.Fatal("local gate reported open after Close")
+	}
+	if g := <-claim; g.OK {
+		t.Fatal("claim granted after Close")
+	}
+	if !c.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+}
+
+func TestCoordinatorStallDegrades(t *testing.T) {
+	c := New(2, Options{StallTimeout: 15 * time.Millisecond})
+	c.SetPend(1, 2) // target stuck behind seq 5 forever
+	c.SetBoundary(0, 5)
+	g := c.WaitClaim(0, 5, []int{1}, 5)
+	if !g.OK || !g.Degraded || len(g.Targets) != 0 {
+		t.Fatalf("stalled claim = %+v, want degraded local-only grant", g)
+	}
+	if c.Stalls() == 0 {
+		t.Fatal("stall not counted")
+	}
+	// The lagging target took a breaker failure.
+	if c.BreakerState(1) != fault.Closed && c.BreakerState(1) != fault.Open {
+		t.Fatalf("unexpected breaker state %v", c.BreakerState(1))
+	}
+}
+
+func TestCoordinatorBreakerShortCircuits(t *testing.T) {
+	c := New(2, Options{
+		StallTimeout: 5 * time.Millisecond,
+		Breaker:      fault.BreakerConfig{FailureThreshold: 2, CooldownTicks: 1000},
+	})
+	c.SetPend(1, 0) // target never advances
+	for i := int64(1); i <= 2; i++ {
+		c.SetBoundary(0, i)
+		if g := c.WaitClaim(0, i, []int{1}, core.Time(i)); !g.Degraded {
+			t.Fatalf("claim %d not degraded", i)
+		}
+	}
+	if c.BreakerState(1) != fault.Open {
+		t.Fatalf("breaker not open after %d failures: %v", 2, c.BreakerState(1))
+	}
+	// Open breaker: the next claim skips the target without waiting.
+	start := time.Now()
+	c.SetBoundary(0, 3)
+	g := c.WaitClaim(0, 3, []int{1}, 3)
+	if !g.OK || !g.Degraded || len(g.Targets) != 0 {
+		t.Fatalf("short-circuit grant = %+v", g)
+	}
+	if time.Since(start) > 4*time.Millisecond {
+		t.Fatal("open breaker still waited the stall timeout")
+	}
+}
+
+// TestCoordinatorConcurrentHammer drives the full protocol shape from
+// many goroutines under -race: each shard processes its slice of a
+// global sequence, a fraction of events are boundary with random
+// targets, and a shared counter checks mutual exclusion of boundary
+// events — at most one in flight globally.
+func TestCoordinatorConcurrentHammer(t *testing.T) {
+	const (
+		shards = 4
+		events = 800
+	)
+	c := New(shards, Options{})
+	// Deal out sequence numbers round-robin; every 13th is boundary.
+	type item struct {
+		seq      int64
+		boundary bool
+		targets  []int
+	}
+	plans := make([][]item, shards)
+	for seq := int64(0); seq < events; seq++ {
+		s := int(seq) % shards
+		it := item{seq: seq}
+		if seq%13 == 0 {
+			it.boundary = true
+			for tgt := 0; tgt < shards; tgt++ {
+				if tgt != s {
+					it.targets = append(it.targets, tgt)
+				}
+			}
+		}
+		plans[s] = append(plans[s], it)
+	}
+	for s := range plans {
+		c.SetPend(s, plans[s][0].seq)
+		for _, it := range plans[s] {
+			if it.boundary {
+				c.SetBoundary(s, it.seq)
+				break
+			}
+		}
+	}
+	var inBoundary atomic.Int32
+	var maxSeen atomic.Int32
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			pl := plans[s]
+			bNext := 0
+			for bNext < len(pl) && !pl[bNext].boundary {
+				bNext++
+			}
+			for k, it := range pl {
+				if it.boundary {
+					g := c.WaitClaim(s, it.seq, it.targets, core.Time(it.seq))
+					if !g.OK || g.Degraded {
+						t.Errorf("shard %d seq %d: grant %+v", s, it.seq, g)
+						return
+					}
+					n := inBoundary.Add(1)
+					if n > 1 {
+						t.Errorf("two boundary events in flight")
+					}
+					if n > maxSeen.Load() {
+						maxSeen.Store(n)
+					}
+					time.Sleep(time.Microsecond)
+					inBoundary.Add(-1)
+				} else if !c.WaitLocal(s, it.seq) {
+					t.Errorf("shard %d seq %d: closed", s, it.seq)
+					return
+				}
+				if it.boundary {
+					nb := None
+					for j := bNext + 1; j < len(pl); j++ {
+						if pl[j].boundary {
+							nb = pl[j].seq
+							bNext = j
+							break
+						}
+					}
+					if nb == None {
+						bNext = len(pl)
+					}
+					c.SetBoundary(s, nb)
+				}
+				next := None
+				if k+1 < len(pl) {
+					next = pl[k+1].seq
+				}
+				c.SetPend(s, next)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("boundary concurrency watermark %d, want 1", maxSeen.Load())
+	}
+	c.Close()
+}
+
+func BenchmarkLocalGate(b *testing.B) {
+	c := New(8, Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.WaitLocal(3, int64(i)) {
+			b.Fatal("gate closed")
+		}
+		c.SetPend(3, int64(i+1))
+	}
+}

@@ -51,6 +51,12 @@ type Snapshot struct {
 	// written before windowed dispatch existed keep verifying.
 	Window        int64 `json:"window,omitempty"`
 	BatchDeadline int64 `json:"batch_deadline,omitempty"`
+	// Shards and ShardReachBits fingerprint the geo-sharded runtime: a
+	// log re-driven under a different shard count or reach would route
+	// events to different shard RNG streams and fork the state. Zero for
+	// unsharded servers, so pre-sharding snapshots keep verifying.
+	Shards         int64  `json:"shards,omitempty"`
+	ShardReachBits uint64 `json:"shard_reach_bits,omitempty"`
 
 	// Digest of the serving counters after Applied records. RevenueBits
 	// is math.Float64bits of the accumulated revenue — compared bit for

@@ -109,6 +109,47 @@ func typicalValue(m ValueModel, rng *rand.Rand) float64 {
 	return sum / n
 }
 
+// arenaChunk sizes the generator's allocation arenas. Entities are
+// handed out as pointers into fixed chunks, so one heap allocation
+// amortizes over arenaChunk entities instead of costing one each — at
+// scaling-city sizes (1M workers, 10M events) per-entity allocation
+// dominates generation time and fragments the heap.
+const arenaChunk = 4096
+
+// arena hands out pointers into fixed-size chunks. Pointers stay valid
+// forever: a chunk is never reallocated, only consumed.
+type arena[T any] struct{ chunk []T }
+
+func (a *arena[T]) next() *T {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]T, arenaChunk)
+	}
+	p := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return p
+}
+
+// floatArena carves history slices out of shared blocks. Histories are
+// immutable after generation, so full-capacity sub-slices (no room to
+// grow into a neighbour) are safe to share a backing array.
+type floatArena struct{ buf []float64 }
+
+func (a *floatArena) take(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if len(a.buf) < n {
+		size := 16 * arenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]float64, size)
+	}
+	s := a.buf[:n:n]
+	a.buf = a.buf[n:]
+	return s
+}
+
 // ReorderUniform returns a copy of the stream whose entities keep their
 // locations, values, radii and histories but receive fresh arrival times
 // drawn uniformly over the same horizon — one sample from the random
@@ -120,7 +161,7 @@ func ReorderUniform(s *core.Stream, seed int64) (*core.Stream, error) {
 	if horizon == 0 {
 		horizon = 1
 	}
-	var events []core.Event
+	events := make([]core.Event, 0, s.Len())
 	for _, w := range s.Workers() {
 		cl := *w
 		cl.History = append([]float64(nil), w.History...)
@@ -132,7 +173,7 @@ func ReorderUniform(s *core.Stream, seed int64) (*core.Stream, error) {
 		cl.Arrival = core.Time(rng.Int63n(horizon))
 		events = append(events, core.Event{Time: cl.Arrival, Kind: core.RequestArrival, Request: &cl})
 	}
-	return core.NewStream(events)
+	return core.NewStreamOwned(events)
 }
 
 // Generate builds the arrival stream. Deterministic given seed: entity
@@ -143,12 +184,18 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 		return nil, fmt.Errorf("workload: no platforms configured")
 	}
 	totalArrivals := 0
+	totalEvents := 0
 	for i := range cfg.Platforms {
 		s := &cfg.Platforms[i]
 		if err := s.validate(); err != nil {
 			return nil, err
 		}
 		totalArrivals += s.Requests + s.Workers
+		app := s.Appearances
+		if app == 0 {
+			app = 1
+		}
+		totalEvents += s.Requests + s.Workers*app
 	}
 	horizon := cfg.Horizon
 	if horizon <= 0 {
@@ -159,7 +206,10 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 	}
 
 	rng := rand.New(rand.NewSource(seed))
-	var events []core.Event
+	events := make([]core.Event, 0, totalEvents)
+	var workers arena[core.Worker]
+	var requests arena[core.Request]
+	var hists floatArena
 	nextWorkerID := int64(1)
 	nextRequestID := int64(1)
 
@@ -191,7 +241,7 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 			if histMax > histMin {
 				n += rng.Intn(histMax - histMin + 1)
 			}
-			hist := make([]float64, n)
+			hist := hists.take(n)
 			if s.HistoryValues != nil {
 				for k := range hist {
 					hist[k] = s.HistoryValues.Sample(rng)
@@ -205,7 +255,8 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 			// One physical worker: `appearances` pool joins at increasing
 			// times and fresh locations, sharing the acceptance history.
 			for a := 0; a < appearances; a++ {
-				w := &core.Worker{
+				w := workers.next()
+				*w = core.Worker{
 					ID:       nextWorkerID,
 					Arrival:  arrivals.Sample(rng, horizon),
 					Loc:      workerSpatial.Sample(rng),
@@ -218,7 +269,8 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 			}
 		}
 		for j := 0; j < s.Requests; j++ {
-			r := &core.Request{
+			r := requests.next()
+			*r = core.Request{
 				ID:       nextRequestID,
 				Arrival:  arrivals.Sample(rng, horizon),
 				Loc:      s.RequestSpatial.Sample(rng),
@@ -229,5 +281,5 @@ func Generate(cfg Config, seed int64) (*core.Stream, error) {
 			events = append(events, core.Event{Time: r.Arrival, Kind: core.RequestArrival, Request: r})
 		}
 	}
-	return core.NewStream(events)
+	return core.NewStreamOwned(events)
 }

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"crossmatch/internal/core"
+)
+
+// TestGenerateDeterministicAfterArenas: the arena refactor must not
+// perturb the RNG call sequence — same config and seed, bit-identical
+// stream, twice.
+func TestGenerateDeterministicAfterArenas(t *testing.T) {
+	cfg, err := Synthetic(400, 150, 1.0, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Platforms[0].Appearances = 3
+	a, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		x, y := ea[i], eb[i]
+		if x.Time != y.Time || x.Kind != y.Kind {
+			t.Fatalf("event %d differs: %+v vs %+v", i, x, y)
+		}
+		switch x.Kind {
+		case core.WorkerArrival:
+			u, v := x.Worker, y.Worker
+			if u.ID != v.ID || u.Arrival != v.Arrival || u.Loc != v.Loc ||
+				u.Radius != v.Radius || u.Platform != v.Platform || !slicesEqual(u.History, v.History) {
+				t.Fatalf("worker %d differs: %+v vs %+v", i, *u, *v)
+			}
+		case core.RequestArrival:
+			if *x.Request != *y.Request {
+				t.Fatalf("request %d differs: %+v vs %+v", i, *x.Request, *y.Request)
+			}
+		}
+	}
+}
+
+func slicesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGenerateAllocsAmortized pins the satellite fix: generation costs
+// a small bounded number of heap allocations per event (arena chunks,
+// the pre-sized slice, spatial-model internals), not one-plus per
+// entity as before. The bound is loose on purpose — it fails on a
+// return to per-entity allocation (≥ 2/event), not on noise.
+func TestGenerateAllocsAmortized(t *testing.T) {
+	cfg, err := Synthetic(9000, 1000, 1.0, "real")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream *core.Stream
+	allocs := testing.AllocsPerRun(3, func() {
+		s, gerr := Generate(cfg, 5)
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		stream = s
+	})
+	if stream.Len() < 10000 {
+		t.Fatalf("stream has %d events, want >= 10000", stream.Len())
+	}
+	perEvent := allocs / float64(stream.Len())
+	if perEvent > 0.5 {
+		t.Fatalf("%.0f allocations for %d events (%.2f/event) — arena amortization regressed", allocs, stream.Len(), perEvent)
+	}
+}
+
+func BenchmarkGenerateCity(b *testing.B) {
+	cfg, err := Synthetic(45000, 5000, 1.0, "real")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := Generate(cfg, int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() < 50000 {
+			b.Fatal("bad length")
+		}
+	}
+}

@@ -28,7 +28,7 @@ set -e
 cd "$(dirname "$0")/.."
 
 BASELINE=${BASELINE:-BENCH_PR6.json}
-BENCHES=${BENCHES:-"TableV TableVI BatchWindow"}
+BENCHES=${BENCHES:-"TableV TableVI BatchWindow ShardedEngine"}
 
 # baseline_for BENCH: newer benchmarks were baselined in later PRs, so
 # each bench reads its own committed snapshot; everything without an
@@ -36,6 +36,7 @@ BENCHES=${BENCHES:-"TableV TableVI BatchWindow"}
 baseline_for() {
     case "$1" in
         BatchWindow) echo "BENCH_PR9.json" ;;
+        ShardedEngine) echo "BENCH_PR10.json" ;;
         *) echo "$BASELINE" ;;
     esac
 }
